@@ -1,0 +1,97 @@
+// Benchmarks regenerating every table and figure of the paper (DESIGN.md §5
+// maps experiment ids to modules). Each benchmark executes the corresponding
+// experiment driver end to end at benchmark scale; the reported ns/op is the
+// cost of regenerating the artifact. Run the cmd/experiments binary for the
+// full-scale, human-readable reports recorded in EXPERIMENTS.md.
+package gbkmv_test
+
+import (
+	"io"
+	"testing"
+
+	"gbkmv/internal/experiments"
+)
+
+// benchCfg is the benchmark-scale configuration: smaller datasets and fewer
+// queries than the EXPERIMENTS.md runs, same code paths.
+func benchCfg() experiments.Config { return experiments.Quick() }
+
+func runExperiment(b *testing.B, name string) {
+	b.Helper()
+	cfg := benchCfg()
+	for i := 0; i < b.N; i++ {
+		if err := experiments.Run(io.Discard, name, cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkTable2Profiles regenerates Table II (dataset characteristics).
+func BenchmarkTable2Profiles(b *testing.B) { runExperiment(b, "table2") }
+
+// BenchmarkTable3SpaceUsage regenerates Table III (space usage).
+func BenchmarkTable3SpaceUsage(b *testing.B) { runExperiment(b, "table3") }
+
+// BenchmarkFig5BufferSize regenerates Fig. 5 (effect of buffer size).
+func BenchmarkFig5BufferSize(b *testing.B) { runExperiment(b, "fig5") }
+
+// BenchmarkFig6SketchVariants regenerates Fig. 6 (KMV vs G-KMV vs GB-KMV).
+func BenchmarkFig6SketchVariants(b *testing.B) { runExperiment(b, "fig6") }
+
+// BenchmarkFig7to13AccuracyVsSpace regenerates Figs. 7-13 (accuracy vs
+// space on all seven dataset profiles).
+func BenchmarkFig7to13AccuracyVsSpace(b *testing.B) { runExperiment(b, "fig7-13") }
+
+// BenchmarkFig14AccuracyDistribution regenerates Fig. 14 (per-query F1
+// distribution).
+func BenchmarkFig14AccuracyDistribution(b *testing.B) { runExperiment(b, "fig14") }
+
+// BenchmarkFig15ThresholdSweep regenerates Fig. 15 (F1 vs similarity
+// threshold).
+func BenchmarkFig15ThresholdSweep(b *testing.B) { runExperiment(b, "fig15") }
+
+// BenchmarkFig16SkewSweep regenerates Fig. 16 (synthetic skew sweeps).
+func BenchmarkFig16SkewSweep(b *testing.B) { runExperiment(b, "fig16") }
+
+// BenchmarkFig17TimeAccuracy regenerates Fig. 17 (time vs accuracy).
+func BenchmarkFig17TimeAccuracy(b *testing.B) { runExperiment(b, "fig17") }
+
+// BenchmarkFig18Construction regenerates Fig. 18 (sketch construction time).
+func BenchmarkFig18Construction(b *testing.B) { runExperiment(b, "fig18") }
+
+// BenchmarkFig19aUniform regenerates Fig. 19a (uniform-data time-accuracy).
+func BenchmarkFig19aUniform(b *testing.B) { runExperiment(b, "fig19a") }
+
+// BenchmarkFig19bExact regenerates Fig. 19b (runtime vs record size against
+// the exact algorithms).
+func BenchmarkFig19bExact(b *testing.B) { runExperiment(b, "fig19b") }
+
+// BenchmarkAblationGlobalThreshold measures KMV vs G-KMV at equal budget
+// (Theorem 3).
+func BenchmarkAblationGlobalThreshold(b *testing.B) { runExperiment(b, "ablation-global-threshold") }
+
+// BenchmarkAblationBuffer measures the cost-model buffer against no buffer.
+func BenchmarkAblationBuffer(b *testing.B) { runExperiment(b, "ablation-buffer") }
+
+// BenchmarkAblationPartitionedKMV measures Theorem 4's partitioned-KMV
+// strategy against a single sketch.
+func BenchmarkAblationPartitionedKMV(b *testing.B) { runExperiment(b, "ablation-partitioned-kmv") }
+
+// BenchmarkAblationIndexedSearch measures the inverted-index search against
+// the linear scan of Algorithm 2.
+func BenchmarkAblationIndexedSearch(b *testing.B) { runExperiment(b, "ablation-indexed-search") }
+
+// BenchmarkAblationCostModel measures the empirical against the closed-form
+// buffer cost model.
+func BenchmarkAblationCostModel(b *testing.B) { runExperiment(b, "ablation-cost-model") }
+
+// BenchmarkExtraBaselines measures the Section VI baseline lineage
+// (KMV → asymmetric minwise hashing → LSH-E → GB-KMV).
+func BenchmarkExtraBaselines(b *testing.B) { runExperiment(b, "extra-baselines") }
+
+// BenchmarkExtraAnalysis measures the Eq. 18-21 Monte-Carlo validation.
+func BenchmarkExtraAnalysis(b *testing.B) { runExperiment(b, "extra-analysis") }
+
+// BenchmarkExtraScaling measures indexed vs linear search scaling with
+// collection size.
+func BenchmarkExtraScaling(b *testing.B) { runExperiment(b, "extra-scaling") }

@@ -1,0 +1,50 @@
+// Command experiments regenerates the paper's tables and figures from the
+// synthetic stand-in datasets (see DESIGN.md §5 for the experiment index).
+//
+// Usage:
+//
+//	experiments -run all
+//	experiments -run fig6 -queries 100 -scale 1.0
+//	experiments -list
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"gbkmv/internal/experiments"
+)
+
+func main() {
+	var (
+		run     = flag.String("run", "all", "experiment id to run, or 'all'")
+		list    = flag.Bool("list", false, "list experiment ids and exit")
+		queries = flag.Int("queries", 50, "queries per dataset")
+		scale   = flag.Float64("scale", 1.0, "dataset size multiplier")
+		seed    = flag.Int64("seed", 42, "random seed")
+		tstar   = flag.Float64("t", 0.5, "containment similarity threshold")
+	)
+	flag.Parse()
+
+	if *list {
+		for _, n := range experiments.Names() {
+			fmt.Println(n)
+		}
+		return
+	}
+	cfg := experiments.Config{
+		Seed:       *seed,
+		NumQueries: *queries,
+		Threshold:  *tstar,
+		Scale:      *scale,
+	}.WithDefaults()
+
+	start := time.Now()
+	if err := experiments.Run(os.Stdout, *run, cfg); err != nil {
+		fmt.Fprintln(os.Stderr, "experiments:", err)
+		os.Exit(1)
+	}
+	fmt.Printf("\ncompleted %q in %s\n", *run, time.Since(start).Round(time.Millisecond))
+}

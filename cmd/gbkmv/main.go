@@ -1,0 +1,128 @@
+// Command gbkmv builds a GB-KMV sketch over a line-oriented set file and
+// answers containment similarity queries against it.
+//
+// Input format: one record per line, whitespace-separated tokens, e.g.
+//
+//	five guys burgers and fries
+//	five kitchen berkeley
+//
+// Usage:
+//
+//	gbkmv -data records.txt -query "five guys" -t 0.5
+//	gbkmv -data records.txt -interactive
+//	gbkmv -data records.txt -stats
+//
+// With no -data flag, a small synthetic dataset is generated so the tool can
+// be exercised standalone.
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"gbkmv"
+	"gbkmv/internal/dataset"
+)
+
+func main() {
+	var (
+		dataPath    = flag.String("data", "", "path to a line-oriented record file")
+		query       = flag.String("query", "", "whitespace-separated query tokens")
+		tstar       = flag.Float64("t", 0.5, "containment similarity threshold")
+		budget      = flag.Float64("budget", 0.10, "sketch budget as a fraction of data size")
+		seed        = flag.Uint64("seed", 42, "hash seed")
+		stats       = flag.Bool("stats", false, "print sketch statistics and exit")
+		interactive = flag.Bool("interactive", false, "read queries from stdin")
+		maxShow     = flag.Int("max", 10, "maximum results to print")
+	)
+	flag.Parse()
+
+	voc := gbkmv.NewVocabulary()
+	var records []gbkmv.Record
+	var lines []string
+
+	if *dataPath != "" {
+		f, err := os.Open(*dataPath)
+		if err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+		records, lines, err = gbkmv.ReadRecords(f, voc)
+		if err != nil {
+			fatal(err)
+		}
+	} else {
+		fmt.Println("no -data given; generating a synthetic demo dataset (1000 records)")
+		d, err := dataset.Synthetic(dataset.SyntheticConfig{
+			NumRecords: 1000, Universe: 5000,
+			AlphaFreq: 1.1, AlphaSize: 2.5,
+			MinSize: 10, MaxSize: 200,
+		}, int64(*seed))
+		if err != nil {
+			fatal(err)
+		}
+		for i, r := range d.Records {
+			records = append(records, r)
+			lines = append(lines, fmt.Sprintf("<synthetic record %d, %d elements>", i, len(r)))
+		}
+	}
+	if len(records) == 0 {
+		fatal(fmt.Errorf("no records loaded"))
+	}
+
+	ix, err := gbkmv.Build(records, gbkmv.Options{BudgetFraction: *budget, Seed: *seed})
+	if err != nil {
+		fatal(err)
+	}
+	st := ix.Stats()
+	fmt.Printf("indexed %d records: buffer r=%d bits, τ=%.4f, %d/%d budget units, %d sketch bytes\n",
+		st.NumRecords, st.BufferBits, st.Tau, st.UsedUnits, st.BudgetUnits, st.SizeBytes)
+	if *stats {
+		return
+	}
+
+	answer := func(qline string) {
+		q := voc.Record(strings.Fields(qline))
+		if len(q) == 0 {
+			fmt.Println("empty query")
+			return
+		}
+		hits := ix.Search(q, *tstar)
+		fmt.Printf("%d records with estimated C(Q, X) ≥ %.2f\n", len(hits), *tstar)
+		for i, id := range hits {
+			if i >= *maxShow {
+				fmt.Printf("... and %d more\n", len(hits)-*maxShow)
+				break
+			}
+			fmt.Printf("  #%-6d est=%.3f  %s\n", id, ix.Estimate(q, id), truncate(lines[id], 70))
+		}
+	}
+
+	switch {
+	case *query != "":
+		answer(*query)
+	case *interactive:
+		fmt.Println("enter queries, one per line (ctrl-D to quit):")
+		sc := bufio.NewScanner(os.Stdin)
+		for sc.Scan() {
+			answer(sc.Text())
+		}
+	default:
+		fmt.Println("no -query given; try -query \"...\" or -interactive")
+	}
+}
+
+func truncate(s string, n int) string {
+	if len(s) <= n {
+		return s
+	}
+	return s[:n-3] + "..."
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "gbkmv:", err)
+	os.Exit(1)
+}

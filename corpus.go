@@ -1,0 +1,32 @@
+package gbkmv
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strings"
+)
+
+// ReadRecords parses a line-oriented token corpus: one record per line,
+// whitespace-separated tokens, blank lines skipped. It returns the records
+// (tokens interned through voc) and the raw lines for display. This is the
+// input format of the cmd/gbkmv tool.
+func ReadRecords(r io.Reader, voc *Vocabulary) (records []Record, lines []string, err error) {
+	if voc == nil {
+		voc = NewVocabulary()
+	}
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if line == "" {
+			continue
+		}
+		records = append(records, voc.Record(strings.Fields(line)))
+		lines = append(lines, line)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, nil, fmt.Errorf("gbkmv: reading records: %w", err)
+	}
+	return records, lines, nil
+}

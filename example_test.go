@@ -1,0 +1,68 @@
+package gbkmv_test
+
+import (
+	"fmt"
+
+	"gbkmv"
+)
+
+// ExampleBuild indexes a tiny corpus and runs a containment search — the
+// record-matching scenario from the paper's introduction.
+func ExampleBuild() {
+	voc := gbkmv.NewVocabulary()
+	records := []gbkmv.Record{
+		voc.Record([]string{"five", "guys", "burgers", "and", "fries"}),
+		voc.Record([]string{"five", "kitchen", "berkeley"}),
+	}
+	ix, err := gbkmv.Build(records, gbkmv.Options{BudgetFraction: 1, Seed: 1})
+	if err != nil {
+		panic(err)
+	}
+	q := voc.Record([]string{"five", "guys"})
+	fmt.Println(ix.Search(q, 0.75))
+	// Output: [0]
+}
+
+// ExampleIndex_Estimate shows per-record containment estimates. At a 100%
+// budget the sketch is lossless, so the estimates are exact.
+func ExampleIndex_Estimate() {
+	voc := gbkmv.NewVocabulary()
+	records := []gbkmv.Record{
+		voc.Record([]string{"a", "b", "c", "d"}),
+		voc.Record([]string{"a", "b"}),
+	}
+	ix, err := gbkmv.Build(records, gbkmv.Options{BudgetFraction: 1, Seed: 1})
+	if err != nil {
+		panic(err)
+	}
+	q := voc.Record([]string{"a", "b"})
+	fmt.Printf("%.2f %.2f\n", ix.Estimate(q, 0), ix.Estimate(q, 1))
+	// Output: 1.00 1.00
+}
+
+// ExampleIndex_SearchTopK ranks records by estimated containment.
+func ExampleIndex_SearchTopK() {
+	voc := gbkmv.NewVocabulary()
+	records := []gbkmv.Record{
+		voc.Record([]string{"w", "x", "y", "z"}),
+		voc.Record([]string{"w", "x"}),
+		voc.Record([]string{"p", "q"}),
+	}
+	ix, err := gbkmv.Build(records, gbkmv.Options{BudgetFraction: 1, Seed: 1})
+	if err != nil {
+		panic(err)
+	}
+	for _, hit := range ix.SearchTopK(voc.Record([]string{"w", "x", "y"}), 2) {
+		fmt.Printf("%d %.2f\n", hit.ID, hit.Score)
+	}
+	// Output:
+	// 0 1.00
+	// 1 0.67
+}
+
+// ExampleShingles tokenizes a string into overlapping q-grams, the
+// representation the paper uses for error-tolerant text matching.
+func ExampleShingles() {
+	fmt.Println(gbkmv.Shingles("berkeley", 3))
+	// Output: [ber erk rke kel ele ley]
+}

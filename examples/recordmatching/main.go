@@ -1,0 +1,70 @@
+// Record matching: error-tolerant lookup of entity descriptions, the
+// application from Section I of the paper. A corpus of product titles is
+// indexed once; user queries (subsets of title tokens, possibly with noise
+// words) retrieve the products containing most of the query — the behavior
+// keyword search needs but Jaccard-based matching gets wrong for short
+// queries.
+package main
+
+import (
+	"fmt"
+	"strings"
+
+	"gbkmv"
+)
+
+var catalog = []string{
+	"apple iphone 13 pro max 256gb graphite unlocked smartphone",
+	"apple iphone 13 mini 128gb midnight verizon",
+	"samsung galaxy s22 ultra 512gb phantom black unlocked",
+	"samsung galaxy s22 plus 256gb green",
+	"google pixel 7 pro 128gb obsidian unlocked",
+	"google pixel 7a 128gb charcoal",
+	"apple macbook pro 14 inch m2 pro 16gb 512gb space gray",
+	"apple macbook air 13 inch m2 8gb 256gb starlight",
+	"dell xps 13 plus intel i7 16gb 512gb platinum",
+	"lenovo thinkpad x1 carbon gen 11 i7 32gb 1tb",
+	"sony wh 1000xm5 wireless noise canceling headphones black",
+	"bose quietcomfort 45 wireless headphones white smoke",
+	"apple airpods pro 2nd generation with magsafe case",
+	"samsung galaxy buds 2 pro graphite wireless earbuds",
+	"nintendo switch oled model white joy con console",
+	"sony playstation 5 disc edition console with controller",
+	"microsoft xbox series x 1tb console black",
+	"apple watch series 8 gps 45mm midnight aluminum",
+	"samsung galaxy watch 5 pro 45mm titanium",
+	"garmin fenix 7 sapphire solar multisport gps watch",
+}
+
+func main() {
+	voc := gbkmv.NewVocabulary()
+	records := make([]gbkmv.Record, len(catalog))
+	for i, line := range catalog {
+		records[i] = voc.Record(strings.Fields(line))
+	}
+	ix, err := gbkmv.Build(records, gbkmv.Options{BudgetFraction: 0.6, Seed: 7})
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("catalog: %d products, %d distinct tokens\n", len(catalog), voc.Len())
+
+	queries := []string{
+		"apple iphone 13",
+		"galaxy watch titanium",
+		"wireless noise canceling headphones",
+		"macbook 14 m2",
+		"pixel pro unlocked please", // "please" is a noise token
+	}
+	for _, qline := range queries {
+		q := voc.Record(strings.Fields(qline))
+		fmt.Printf("\nquery: %q (threshold 0.6)\n", qline)
+		hits := ix.Search(q, 0.6)
+		if len(hits) == 0 {
+			fmt.Println("  no match")
+			continue
+		}
+		for _, id := range hits {
+			fmt.Printf("  %.2f  %s\n", ix.Estimate(q, id), catalog[id])
+		}
+	}
+}

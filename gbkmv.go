@@ -1,0 +1,178 @@
+// Package gbkmv is a Go implementation of GB-KMV, the augmented KMV sketch
+// for approximate containment similarity search of Yang, Zhang, Zhang &
+// Huang (ICDE 2019, arXiv:1809.00458).
+//
+// Given a collection of records (sets of elements) and a query record Q, a
+// containment similarity search returns every record X whose containment
+// similarity C(Q, X) = |Q ∩ X| / |Q| reaches a threshold t*. GB-KMV answers
+// such queries approximately from a compact, data-dependent sketch:
+//
+//   - a KMV sketch with a global hash threshold τ (G-KMV), which makes the
+//     usable sketch size for a pair |L_Q ∪ L_X| instead of min(k_Q, k_X),
+//     and
+//   - a small bitmap buffer per record that stores the presence of the
+//     top-r most frequent elements exactly, with r chosen by a
+//     variance-based cost model.
+//
+// # Quick start
+//
+//	voc := gbkmv.NewVocabulary()
+//	records := []gbkmv.Record{
+//	    voc.Record([]string{"five", "guys", "burgers", "and", "fries"}),
+//	    voc.Record([]string{"five", "kitchen", "berkeley"}),
+//	}
+//	ix, err := gbkmv.Build(records, gbkmv.Options{})
+//	if err != nil { ... }
+//	q := voc.Record([]string{"five", "guys"})
+//	ids := ix.Search(q, 0.5) // records containing ≥ half of q
+//
+// The internal packages implement every subsystem of the paper's evaluation
+// (plain KMV, MinHash, LSH Forest, LSH Ensemble, PPjoin*-style and
+// inverted-index exact search, synthetic workload generators); see DESIGN.md
+// and cmd/experiments for the full reproduction harness.
+package gbkmv
+
+import (
+	"errors"
+
+	"gbkmv/internal/core"
+	"gbkmv/internal/dataset"
+	"gbkmv/internal/hash"
+)
+
+// Element is the integer id of a set element.
+type Element = hash.Element
+
+// Record is a set of elements, sorted and deduplicated. Build one from raw
+// ids with NewRecord or from string tokens with Vocabulary.Record.
+type Record = dataset.Record
+
+// NewRecord builds a Record from (possibly unsorted, duplicated) element
+// ids.
+func NewRecord(elems []Element) Record { return dataset.NewRecord(elems) }
+
+// Buffer-size sentinels for Options.BufferBits.
+const (
+	// AutoBuffer (the zero value, and the recommended setting) selects the
+	// buffer size with the variance cost model of Section IV-C6.
+	AutoBuffer = 0
+	// NoBuffer disables the frequent-element buffer, producing a pure
+	// G-KMV sketch.
+	NoBuffer = -1
+)
+
+// Options configures Build.
+type Options struct {
+	// BudgetFraction is the sketch budget as a fraction of the total number
+	// of element occurrences in the collection. Default 0.10 (the paper's
+	// default "SpaceUsed").
+	BudgetFraction float64
+	// BufferBits is the frequent-element buffer size r in bits per record:
+	// AutoBuffer (default) for cost-model selection, NoBuffer for none, or
+	// a positive bit count (rounded up to a byte multiple).
+	BufferBits int
+	// Seed fixes all hashing; indexes built with different seeds are
+	// incomparable. The zero seed is valid.
+	Seed uint64
+}
+
+// Index is a GB-KMV sketch of a record collection supporting approximate
+// containment similarity search.
+type Index struct {
+	inner   *core.Index
+	records []Record
+}
+
+// Build constructs an Index over the records. The records slice is retained
+// by the index (for dynamic insertion and introspection) and must not be
+// mutated afterwards.
+func Build(records []Record, opt Options) (*Index, error) {
+	if len(records) == 0 {
+		return nil, errors.New("gbkmv: no records")
+	}
+	universe := 0
+	for _, r := range records {
+		if len(r) > 0 {
+			if top := int(r[len(r)-1]) + 1; top > universe {
+				universe = top
+			}
+		}
+	}
+	buffer := core.AutoBuffer
+	switch {
+	case opt.BufferBits == NoBuffer:
+		buffer = 0
+	case opt.BufferBits > 0:
+		buffer = opt.BufferBits
+	case opt.BufferBits != AutoBuffer:
+		return nil, errors.New("gbkmv: invalid BufferBits")
+	}
+	d := &dataset.Dataset{Records: records, Universe: universe}
+	inner, err := core.BuildIndex(d, core.Options{
+		BudgetFraction: opt.BudgetFraction,
+		BufferBits:     buffer,
+		Seed:           opt.Seed,
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &Index{inner: inner, records: records}, nil
+}
+
+// Search returns the ids (positions in the build slice) of all records whose
+// estimated containment similarity C(Q, X) is at least threshold, in
+// ascending order.
+func (ix *Index) Search(q Record, threshold float64) []int {
+	return ix.inner.Search(q, threshold)
+}
+
+// Estimate returns the estimated containment similarity C(Q, X_i) of the
+// query in record i.
+func (ix *Index) Estimate(q Record, i int) float64 {
+	return ix.inner.EstimateContainment(ix.inner.Sketch(q), i)
+}
+
+// EstimateAll returns the estimated containment of the query in every
+// record; useful for top-k style post-processing.
+func (ix *Index) EstimateAll(q Record) []float64 {
+	sig := ix.inner.Sketch(q)
+	out := make([]float64, ix.inner.NumRecords())
+	for i := range out {
+		out[i] = ix.inner.EstimateContainment(sig, i)
+	}
+	return out
+}
+
+// Add appends a record to the index under the fixed space budget: the global
+// threshold shrinks as needed (Section IV-B, "Processing Dynamic Data"). It
+// returns the new record's id.
+func (ix *Index) Add(r Record) int {
+	ix.inner.AddRecord(r)
+	ix.records = append(ix.records, r)
+	return ix.inner.NumRecords() - 1
+}
+
+// Len returns the number of indexed records.
+func (ix *Index) Len() int { return ix.inner.NumRecords() }
+
+// Stats describes the built sketch.
+type Stats struct {
+	NumRecords  int
+	BufferBits  int     // chosen r
+	Tau         float64 // global hash threshold
+	BudgetUnits int     // configured budget (1 unit = one hash value = 32 buffer bits)
+	UsedUnits   int     // units actually consumed
+	SizeBytes   int     // in-memory signature footprint
+}
+
+// Stats reports the index's configuration and footprint.
+func (ix *Index) Stats() Stats {
+	return Stats{
+		NumRecords:  ix.inner.NumRecords(),
+		BufferBits:  ix.inner.BufferBits(),
+		Tau:         ix.inner.Tau(),
+		BudgetUnits: ix.inner.BudgetUnits(),
+		UsedUnits:   ix.inner.UsedUnits(),
+		SizeBytes:   ix.inner.SizeBytes(),
+	}
+}

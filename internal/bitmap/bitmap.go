@@ -1,0 +1,147 @@
+// Package bitmap implements a fixed-capacity bitset used as the
+// high-frequency-element buffer of the GB-KMV sketch (Section IV-A(3) of the
+// paper). Each record keeps one bit per buffered element; the intersection
+// |H_Q ∩ H_X| is a word-wise AND plus popcount, which is what makes the exact
+// part of the GB-KMV estimator cheap.
+package bitmap
+
+import (
+	"fmt"
+	"math/bits"
+)
+
+const wordBits = 64
+
+// Bitmap is a fixed-size bitset. The zero value is an empty bitmap of
+// capacity 0; use New to allocate capacity.
+type Bitmap struct {
+	words []uint64
+	n     int // capacity in bits
+}
+
+// New returns a bitmap able to hold n bits, all cleared.
+func New(n int) *Bitmap {
+	if n < 0 {
+		panic("bitmap: negative size")
+	}
+	return &Bitmap{words: make([]uint64, (n+wordBits-1)/wordBits), n: n}
+}
+
+// Len returns the capacity in bits.
+func (b *Bitmap) Len() int { return b.n }
+
+// Words returns the number of 64-bit words backing the bitmap.
+func (b *Bitmap) Words() int { return len(b.words) }
+
+// SizeBytes returns the memory footprint of the bit storage in bytes.
+func (b *Bitmap) SizeBytes() int { return len(b.words) * 8 }
+
+// Set sets bit i.
+func (b *Bitmap) Set(i int) {
+	if i < 0 || i >= b.n {
+		panic(fmt.Sprintf("bitmap: Set(%d) out of range [0,%d)", i, b.n))
+	}
+	b.words[i/wordBits] |= 1 << (uint(i) % wordBits)
+}
+
+// Clear clears bit i.
+func (b *Bitmap) Clear(i int) {
+	if i < 0 || i >= b.n {
+		panic(fmt.Sprintf("bitmap: Clear(%d) out of range [0,%d)", i, b.n))
+	}
+	b.words[i/wordBits] &^= 1 << (uint(i) % wordBits)
+}
+
+// Get reports whether bit i is set.
+func (b *Bitmap) Get(i int) bool {
+	if i < 0 || i >= b.n {
+		panic(fmt.Sprintf("bitmap: Get(%d) out of range [0,%d)", i, b.n))
+	}
+	return b.words[i/wordBits]&(1<<(uint(i)%wordBits)) != 0
+}
+
+// Count returns the number of set bits.
+func (b *Bitmap) Count() int {
+	c := 0
+	for _, w := range b.words {
+		c += bits.OnesCount64(w)
+	}
+	return c
+}
+
+// AndCount returns |b ∩ o|, the number of positions set in both bitmaps.
+// The bitmaps may have different capacities; only the common prefix is
+// compared.
+func (b *Bitmap) AndCount(o *Bitmap) int {
+	n := len(b.words)
+	if len(o.words) < n {
+		n = len(o.words)
+	}
+	c := 0
+	for i := 0; i < n; i++ {
+		c += bits.OnesCount64(b.words[i] & o.words[i])
+	}
+	return c
+}
+
+// OrCount returns |b ∪ o| over the common capacity plus the exclusive tails.
+func (b *Bitmap) OrCount(o *Bitmap) int {
+	n := len(b.words)
+	m := len(o.words)
+	max := n
+	if m > max {
+		max = m
+	}
+	c := 0
+	for i := 0; i < max; i++ {
+		var w uint64
+		if i < n {
+			w = b.words[i]
+		}
+		if i < m {
+			w |= o.words[i]
+		}
+		c += bits.OnesCount64(w)
+	}
+	return c
+}
+
+// Clone returns a deep copy.
+func (b *Bitmap) Clone() *Bitmap {
+	w := make([]uint64, len(b.words))
+	copy(w, b.words)
+	return &Bitmap{words: w, n: b.n}
+}
+
+// Reset clears all bits.
+func (b *Bitmap) Reset() {
+	for i := range b.words {
+		b.words[i] = 0
+	}
+}
+
+// Ones returns the indices of all set bits in increasing order.
+func (b *Bitmap) Ones() []int {
+	out := make([]int, 0, b.Count())
+	for wi, w := range b.words {
+		for w != 0 {
+			tz := bits.TrailingZeros64(w)
+			out = append(out, wi*wordBits+tz)
+			w &= w - 1
+		}
+	}
+	return out
+}
+
+// Equal reports whether two bitmaps have identical capacity and contents.
+func (b *Bitmap) Equal(o *Bitmap) bool {
+	if b.n != o.n {
+		return false
+	}
+	for i := range b.words {
+		if b.words[i] != o.words[i] {
+			return false
+		}
+	}
+	return true
+}

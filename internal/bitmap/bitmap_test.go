@@ -1,0 +1,240 @@
+package bitmap
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestNewEmpty(t *testing.T) {
+	b := New(100)
+	if b.Len() != 100 {
+		t.Errorf("Len = %d, want 100", b.Len())
+	}
+	if b.Count() != 0 {
+		t.Errorf("Count = %d, want 0", b.Count())
+	}
+}
+
+func TestNewNegativePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("New(-1) did not panic")
+		}
+	}()
+	New(-1)
+}
+
+func TestSetGetClear(t *testing.T) {
+	b := New(130) // spans 3 words
+	for _, i := range []int{0, 1, 63, 64, 65, 127, 128, 129} {
+		if b.Get(i) {
+			t.Errorf("bit %d set before Set", i)
+		}
+		b.Set(i)
+		if !b.Get(i) {
+			t.Errorf("bit %d not set after Set", i)
+		}
+		b.Clear(i)
+		if b.Get(i) {
+			t.Errorf("bit %d still set after Clear", i)
+		}
+	}
+}
+
+func TestOutOfRangePanics(t *testing.T) {
+	b := New(10)
+	for name, f := range map[string]func(){
+		"Set":   func() { b.Set(10) },
+		"Get":   func() { b.Get(-1) },
+		"Clear": func() { b.Clear(100) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s out of range did not panic", name)
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+func TestCount(t *testing.T) {
+	b := New(256)
+	want := 0
+	for i := 0; i < 256; i += 3 {
+		b.Set(i)
+		want++
+	}
+	if got := b.Count(); got != want {
+		t.Errorf("Count = %d, want %d", got, want)
+	}
+}
+
+func TestAndCountMatchesSetIntersection(t *testing.T) {
+	f := func(xs, ys []uint16) bool {
+		const n = 1 << 16
+		a, b := New(n), New(n)
+		sa := make(map[int]bool)
+		sb := make(map[int]bool)
+		for _, x := range xs {
+			a.Set(int(x))
+			sa[int(x)] = true
+		}
+		for _, y := range ys {
+			b.Set(int(y))
+			sb[int(y)] = true
+		}
+		want := 0
+		for k := range sa {
+			if sb[k] {
+				want++
+			}
+		}
+		return a.AndCount(b) == want && b.AndCount(a) == want
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestOrCountMatchesSetUnion(t *testing.T) {
+	f := func(xs, ys []uint16) bool {
+		const n = 1 << 16
+		a, b := New(n), New(n)
+		s := make(map[int]bool)
+		for _, x := range xs {
+			a.Set(int(x))
+			s[int(x)] = true
+		}
+		for _, y := range ys {
+			b.Set(int(y))
+			s[int(y)] = true
+		}
+		return a.OrCount(b) == len(s)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestAndCountDifferentCapacities(t *testing.T) {
+	a := New(64)
+	b := New(256)
+	a.Set(3)
+	b.Set(3)
+	b.Set(200) // beyond a's capacity; must not be counted
+	if got := a.AndCount(b); got != 1 {
+		t.Errorf("AndCount = %d, want 1", got)
+	}
+	if got := b.AndCount(a); got != 1 {
+		t.Errorf("AndCount (swapped) = %d, want 1", got)
+	}
+}
+
+func TestOrCountDifferentCapacities(t *testing.T) {
+	a := New(64)
+	b := New(256)
+	a.Set(3)
+	b.Set(200)
+	if got := a.OrCount(b); got != 2 {
+		t.Errorf("OrCount = %d, want 2", got)
+	}
+}
+
+func TestInclusionExclusion(t *testing.T) {
+	// |A| + |B| = |A∩B| + |A∪B| must hold for any pair.
+	rng := rand.New(rand.NewSource(1))
+	for trial := 0; trial < 20; trial++ {
+		a, b := New(512), New(512)
+		for i := 0; i < 100; i++ {
+			a.Set(rng.Intn(512))
+			b.Set(rng.Intn(512))
+		}
+		if a.Count()+b.Count() != a.AndCount(b)+a.OrCount(b) {
+			t.Fatalf("inclusion-exclusion violated: |A|=%d |B|=%d ∩=%d ∪=%d",
+				a.Count(), b.Count(), a.AndCount(b), a.OrCount(b))
+		}
+	}
+}
+
+func TestCloneIndependent(t *testing.T) {
+	a := New(64)
+	a.Set(5)
+	c := a.Clone()
+	if !c.Equal(a) {
+		t.Fatal("clone not equal to original")
+	}
+	c.Set(6)
+	if a.Get(6) {
+		t.Error("mutating clone affected original")
+	}
+}
+
+func TestReset(t *testing.T) {
+	a := New(128)
+	a.Set(0)
+	a.Set(127)
+	a.Reset()
+	if a.Count() != 0 {
+		t.Errorf("Count after Reset = %d, want 0", a.Count())
+	}
+}
+
+func TestOnes(t *testing.T) {
+	a := New(200)
+	want := []int{0, 63, 64, 65, 199}
+	for _, i := range want {
+		a.Set(i)
+	}
+	got := a.Ones()
+	if len(got) != len(want) {
+		t.Fatalf("Ones = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("Ones = %v, want %v", got, want)
+		}
+	}
+}
+
+func TestEqual(t *testing.T) {
+	a, b := New(64), New(64)
+	if !a.Equal(b) {
+		t.Error("empty bitmaps not equal")
+	}
+	a.Set(1)
+	if a.Equal(b) {
+		t.Error("different bitmaps reported equal")
+	}
+	if a.Equal(New(65)) {
+		t.Error("different capacities reported equal")
+	}
+}
+
+func TestSizeBytes(t *testing.T) {
+	if got := New(1).SizeBytes(); got != 8 {
+		t.Errorf("SizeBytes(1 bit) = %d, want 8", got)
+	}
+	if got := New(64).SizeBytes(); got != 8 {
+		t.Errorf("SizeBytes(64 bits) = %d, want 8", got)
+	}
+	if got := New(65).SizeBytes(); got != 16 {
+		t.Errorf("SizeBytes(65 bits) = %d, want 16", got)
+	}
+}
+
+func BenchmarkAndCount1024(b *testing.B) {
+	x, y := New(1024), New(1024)
+	for i := 0; i < 1024; i += 2 {
+		x.Set(i)
+	}
+	for i := 0; i < 1024; i += 3 {
+		y.Set(i)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		x.AndCount(y)
+	}
+}

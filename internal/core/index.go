@@ -1,0 +1,354 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"runtime"
+	"sort"
+	"sync"
+
+	"gbkmv/internal/bitmap"
+	"gbkmv/internal/dataset"
+	"gbkmv/internal/gkmv"
+	"gbkmv/internal/hash"
+	"gbkmv/internal/kmv"
+)
+
+// Index is the GB-KMV sketch of a dataset (Algorithm 1): for every record a
+// bitmap buffer H_X over the top-r most frequent elements E_H, plus a G-KMV
+// sketch L_X (all hash values ≤ τ) over the remaining elements E_K.
+type Index struct {
+	opt Options
+
+	records []dataset.Record // retained for dynamic ops and verification
+
+	bufferElems []hash.Element       // E_H in decreasing frequency order
+	bitOf       map[hash.Element]int // element → buffer bit position
+	buffers     []*bitmap.Bitmap     // H_X per record (nil when r == 0)
+	sketches    []*gkmv.Sketch       // L_X per record
+
+	tau        float64
+	bufferBits int // r
+	budget     int // in signature units
+
+	// Inverted index for accelerated search: postings[e] lists the records
+	// whose G-KMV sketch contains element e.
+	postings map[hash.Element][]int32
+	// bufferPostings[bit] lists the records whose buffer has that bit set.
+	bufferPostings [][]int32
+}
+
+// BuildIndex constructs the GB-KMV index of the dataset (Algorithm 1).
+func BuildIndex(d *dataset.Dataset, opt Options) (*Index, error) {
+	opt = opt.withDefaults()
+	if err := opt.validate(); err != nil {
+		return nil, err
+	}
+	if d == nil || len(d.Records) == 0 {
+		return nil, errors.New("core: empty dataset")
+	}
+	n := d.TotalElements()
+	budget := opt.BudgetUnits
+	if budget == 0 {
+		budget = int(opt.BudgetFraction * float64(n))
+	}
+	if budget <= 0 {
+		return nil, errors.New("core: budget resolves to zero units")
+	}
+
+	// Line 1 of Algorithm 1: pick the buffer size from the cost model (or
+	// from the caller's override).
+	r := opt.BufferBits
+	if r == AutoBuffer {
+		var err error
+		r, err = OptimalBufferBits(d, budget, opt)
+		if err != nil {
+			return nil, fmt.Errorf("core: cost model: %w", err)
+		}
+	}
+	if r%8 != 0 {
+		r += 8 - r%8
+	}
+	m := len(d.Records)
+	if cost := bufferUnits(m, r); cost >= budget {
+		// Never let the buffer consume the entire budget.
+		r = ((budget * BufferUnitBits / (2 * m)) / 8) * 8
+	}
+
+	ix := &Index{
+		opt:        opt,
+		records:    d.Records,
+		bufferBits: r,
+		budget:     budget,
+	}
+
+	// Line 2: E_H ← top r most frequent elements.
+	ix.bufferElems = d.TopFrequent(r)
+	ix.bitOf = make(map[hash.Element]int, len(ix.bufferElems))
+	for i, e := range ix.bufferElems {
+		ix.bitOf[e] = i
+	}
+
+	// Line 3: the global threshold τ over the remaining elements, chosen so
+	// the G-KMV part fits the leftover budget exactly.
+	gBudget := budget - bufferUnits(m, r)
+	tau, err := ix.thresholdForRemaining(d, gBudget)
+	if err != nil {
+		return nil, err
+	}
+	ix.tau = tau
+
+	// Lines 4-6: per-record buffer and sketch, built in parallel (each
+	// record's signature is independent).
+	ix.buffers = make([]*bitmap.Bitmap, m)
+	ix.sketches = make([]*gkmv.Sketch, m)
+	ix.sketchAll()
+	ix.buildPostings()
+	return ix, nil
+}
+
+// sketchAll fills buffers and sketches for every record concurrently.
+func (ix *Index) sketchAll() {
+	workers := runtime.GOMAXPROCS(0)
+	if workers > len(ix.records) {
+		workers = len(ix.records)
+	}
+	var wg sync.WaitGroup
+	chunk := (len(ix.records) + workers - 1) / workers
+	for w := 0; w < workers; w++ {
+		lo := w * chunk
+		hi := lo + chunk
+		if hi > len(ix.records) {
+			hi = len(ix.records)
+		}
+		if lo >= hi {
+			break
+		}
+		wg.Add(1)
+		go func(lo, hi int) {
+			defer wg.Done()
+			for i := lo; i < hi; i++ {
+				ix.buffers[i], ix.sketches[i] = ix.sketchRecord(ix.records[i])
+			}
+		}(lo, hi)
+	}
+	wg.Wait()
+}
+
+// bufferUnits is the budget charge of an r-bit buffer across m records
+// (r/32 units each, as in the paper's accounting).
+func bufferUnits(m, r int) int {
+	return m * r / BufferUnitBits
+}
+
+// thresholdForRemaining selects the largest τ such that the number of stored
+// hash values over elements outside E_H does not exceed gBudget.
+func (ix *Index) thresholdForRemaining(d *dataset.Dataset, gBudget int) (float64, error) {
+	if gBudget <= 0 {
+		return 0, errors.New("core: no budget left for the G-KMV part")
+	}
+	all := make([]float64, 0, d.TotalElements())
+	for _, rec := range d.Records {
+		for _, e := range rec {
+			if _, buffered := ix.bitOf[e]; buffered {
+				continue
+			}
+			all = append(all, hash.UnitHash(e, ix.opt.Seed))
+		}
+	}
+	if gBudget >= len(all) {
+		return 1, nil
+	}
+	sort.Float64s(all)
+	return all[gBudget-1], nil
+}
+
+// sketchRecord builds the (H_X, L_X) pair for one record.
+func (ix *Index) sketchRecord(rec dataset.Record) (*bitmap.Bitmap, *gkmv.Sketch) {
+	var buf *bitmap.Bitmap
+	if ix.bufferBits > 0 {
+		buf = bitmap.New(ix.bufferBits)
+	}
+	rest := make([]hash.Element, 0, len(rec))
+	for _, e := range rec {
+		if bit, ok := ix.bitOf[e]; ok {
+			buf.Set(bit)
+			continue
+		}
+		rest = append(rest, e)
+	}
+	return buf, gkmv.Build(rest, ix.tau, ix.opt.Seed)
+}
+
+// buildPostings constructs the inverted lists used by Search.
+func (ix *Index) buildPostings() {
+	ix.postings = make(map[hash.Element][]int32)
+	for i, rec := range ix.records {
+		for _, e := range rec {
+			if _, buffered := ix.bitOf[e]; buffered {
+				continue
+			}
+			if hash.UnitHash(e, ix.opt.Seed) <= ix.tau {
+				ix.postings[e] = append(ix.postings[e], int32(i))
+			}
+		}
+	}
+	ix.bufferPostings = make([][]int32, ix.bufferBits)
+	for i, buf := range ix.buffers {
+		if buf == nil {
+			continue
+		}
+		for _, bit := range buf.Ones() {
+			ix.bufferPostings[bit] = append(ix.bufferPostings[bit], int32(i))
+		}
+	}
+}
+
+// NumRecords returns the number of indexed records.
+func (ix *Index) NumRecords() int { return len(ix.records) }
+
+// Records returns the indexed records. The slice and its records are owned
+// by the index and must not be mutated.
+func (ix *Index) Records() []dataset.Record { return ix.records }
+
+// Tau returns the global hash threshold in use.
+func (ix *Index) Tau() float64 { return ix.tau }
+
+// BufferBits returns the buffer size r actually used.
+func (ix *Index) BufferBits() int { return ix.bufferBits }
+
+// BufferElements returns E_H, the buffered elements in decreasing frequency
+// order. The slice is owned by the index.
+func (ix *Index) BufferElements() []hash.Element { return ix.bufferElems }
+
+// BudgetUnits returns the construction budget in signature units.
+func (ix *Index) BudgetUnits() int { return ix.budget }
+
+// UsedUnits returns the number of budget units actually consumed: one per
+// stored hash value plus r/32 per record.
+func (ix *Index) UsedUnits() int {
+	u := bufferUnits(len(ix.records), ix.bufferBits)
+	for _, s := range ix.sketches {
+		u += s.K()
+	}
+	return u
+}
+
+// SizeBytes returns the in-memory footprint of the signatures (buffers +
+// sketches), excluding the retained records and inverted lists.
+func (ix *Index) SizeBytes() int {
+	b := 0
+	for _, buf := range ix.buffers {
+		if buf != nil {
+			b += buf.SizeBytes()
+		}
+	}
+	for _, s := range ix.sketches {
+		b += s.SizeBytes()
+	}
+	return b
+}
+
+// QuerySig is the GB-KMV sketch of a query record, reusable across many
+// Estimate/Search calls.
+type QuerySig struct {
+	Size   int // true |Q| (Remark 1: assumed available)
+	buffer *bitmap.Bitmap
+	sketch *gkmv.Sketch
+	// rest holds the query's non-buffered elements with hash ≤ τ, used by
+	// the inverted-index search.
+	rest []hash.Element
+}
+
+// Sketch builds the query signature under the index's threshold, seed and
+// buffer layout.
+func (ix *Index) Sketch(q dataset.Record) *QuerySig {
+	var buf *bitmap.Bitmap
+	if ix.bufferBits > 0 {
+		buf = bitmap.New(ix.bufferBits)
+	}
+	rest := make([]hash.Element, 0, len(q))
+	for _, e := range q {
+		if bit, ok := ix.bitOf[e]; ok {
+			buf.Set(bit)
+			continue
+		}
+		if hash.UnitHash(e, ix.opt.Seed) <= ix.tau {
+			rest = append(rest, e)
+		}
+	}
+	return &QuerySig{
+		Size:   len(q),
+		buffer: buf,
+		sketch: gkmv.Build(rest, ix.tau, ix.opt.Seed),
+		rest:   rest,
+	}
+}
+
+// EstimatedSize estimates |Q| from the signature alone: the exact count of
+// buffered elements plus the G-KMV distinct estimate of the rest. Remark 1
+// of the paper notes the query size can be approximated from the sketch
+// when it is not readily available; Size (the true value) is preferred when
+// known.
+func (sig *QuerySig) EstimatedSize() float64 {
+	est := sig.sketch.DistinctEstimate()
+	if sig.buffer != nil {
+		est += float64(sig.buffer.Count())
+	}
+	return est
+}
+
+// EstimateIntersection estimates |Q ∩ X_i| by Equation 27:
+// |H_Q ∩ H_X| + D̂∩^GKMV.
+func (ix *Index) EstimateIntersection(sig *QuerySig, i int) float64 {
+	exact := 0
+	if sig.buffer != nil && ix.buffers[i] != nil {
+		exact = sig.buffer.AndCount(ix.buffers[i])
+	}
+	return float64(exact) + gkmv.Intersect(sig.sketch, ix.sketches[i]).DInter
+}
+
+// EstimateWithError returns the containment estimate together with an
+// approximate standard error: the square root of the KMV intersection
+// variance (Equation 11) evaluated at the *estimated* D∩, D∪ and the pair's
+// G-KMV sketch size, divided by |Q|. The buffer part of the estimator is
+// exact and contributes no error. For complete (lossless) sketches the
+// error is zero.
+func (ix *Index) EstimateWithError(sig *QuerySig, i int) (est, stderr float64) {
+	if sig.Size <= 0 {
+		return 0, 0
+	}
+	exact := 0
+	if sig.buffer != nil && ix.buffers[i] != nil {
+		exact = sig.buffer.AndCount(ix.buffers[i])
+	}
+	res := gkmv.Intersect(sig.sketch, ix.sketches[i])
+	est = (float64(exact) + res.DInter) / float64(sig.Size)
+	if est > 1 {
+		est = 1
+	}
+	if res.Exact || res.K <= 2 {
+		return est, 0
+	}
+	v := kmv.Variance(res.DInter, res.DUnion, res.K)
+	if v < 0 {
+		v = 0
+	}
+	return est, math.Sqrt(v) / float64(sig.Size)
+}
+
+// EstimateContainment estimates C(Q, X_i) = |Q ∩ X_i| / |Q|, clamped to
+// [0, 1] (the raw intersection estimator can overshoot |Q|; containment
+// cannot). Clamping never changes Search results because the search
+// threshold θ = t*·|Q| never exceeds |Q|.
+func (ix *Index) EstimateContainment(sig *QuerySig, i int) float64 {
+	if sig.Size <= 0 {
+		return 0
+	}
+	c := ix.EstimateIntersection(sig, i) / float64(sig.Size)
+	if c > 1 {
+		c = 1
+	}
+	return c
+}

@@ -1,0 +1,127 @@
+package core
+
+import (
+	"testing"
+	"testing/quick"
+
+	"gbkmv/internal/dataset"
+)
+
+// propIndex is a shared fixture for the property tests.
+func propIndex(t *testing.T) (*Index, *dataset.Dataset) {
+	t.Helper()
+	d := testDataset(t, 120)
+	ix, err := BuildIndex(d, defaultOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return ix, d
+}
+
+func TestPropertySearchMonotoneInThreshold(t *testing.T) {
+	// t1 ≤ t2 ⟹ Search(q, t2) ⊆ Search(q, t1): thresholding the same
+	// estimates can only shrink the result set.
+	ix, d := propIndex(t)
+	f := func(qi uint8, t1Raw, t2Raw uint8) bool {
+		q := d.Records[int(qi)%d.NumRecords()]
+		t1 := float64(t1Raw) / 255
+		t2 := float64(t2Raw) / 255
+		if t1 > t2 {
+			t1, t2 = t2, t1
+		}
+		loose := map[int]bool{}
+		for _, id := range ix.Search(q, t1) {
+			loose[id] = true
+		}
+		for _, id := range ix.Search(q, t2) {
+			if !loose[id] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPropertySearchDeterministic(t *testing.T) {
+	ix, d := propIndex(t)
+	f := func(qi uint8, tRaw uint8) bool {
+		q := d.Records[int(qi)%d.NumRecords()]
+		tstar := float64(tRaw) / 255
+		a := ix.Search(q, tstar)
+		b := ix.Search(q, tstar)
+		if len(a) != len(b) {
+			return false
+		}
+		for i := range a {
+			if a[i] != b[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPropertySearchIDsValidAndSorted(t *testing.T) {
+	ix, d := propIndex(t)
+	f := func(qi uint8, tRaw uint8) bool {
+		q := d.Records[int(qi)%d.NumRecords()]
+		res := ix.Search(q, float64(tRaw)/255)
+		for i, id := range res {
+			if id < 0 || id >= d.NumRecords() {
+				return false
+			}
+			if i > 0 && res[i-1] >= id {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPropertyEstimateMatchesSearchMembership(t *testing.T) {
+	// id ∈ Search(q, t*) ⟺ EstimateIntersection(q, id) ≥ t*·|Q|.
+	ix, d := propIndex(t)
+	f := func(qi uint8, tRaw uint8) bool {
+		q := d.Records[int(qi)%d.NumRecords()]
+		tstar := float64(tRaw)/255*0.8 + 0.1 // avoid θ = 0 special case
+		theta := tstar * float64(len(q))
+		got := map[int]bool{}
+		for _, id := range ix.Search(q, tstar) {
+			got[id] = true
+		}
+		sig := ix.Sketch(q)
+		for i := 0; i < d.NumRecords(); i++ {
+			want := ix.EstimateIntersection(sig, i) >= theta
+			if want != got[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 15}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPropertyEstimateBounds(t *testing.T) {
+	ix, d := propIndex(t)
+	f := func(qi, xi uint8) bool {
+		q := d.Records[int(qi)%d.NumRecords()]
+		i := int(xi) % d.NumRecords()
+		sig := ix.Sketch(q)
+		c := ix.EstimateContainment(sig, i)
+		return c >= 0 && c <= 1
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}

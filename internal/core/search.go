@@ -1,0 +1,171 @@
+package core
+
+import (
+	"sort"
+
+	"gbkmv/internal/dataset"
+	"gbkmv/internal/hash"
+)
+
+// Search returns the ids of all records whose estimated containment
+// similarity C(Q, X) is at least tstar, using the inverted-index accelerated
+// algorithm. Results are sorted ascending. It is equivalent to SearchLinear
+// (Algorithm 2) but skips records that share no signature with the query.
+func (ix *Index) Search(q dataset.Record, tstar float64) []int {
+	return ix.SearchSig(ix.Sketch(q), tstar)
+}
+
+// SearchSig is Search with a prebuilt query signature.
+func (ix *Index) SearchSig(sig *QuerySig, tstar float64) []int {
+	theta := tstar * float64(sig.Size)
+	if theta <= 0 {
+		// Every record trivially satisfies the threshold.
+		out := make([]int, len(ix.records))
+		for i := range out {
+			out[i] = i
+		}
+		return out
+	}
+	// Candidate generation: a record with zero buffer overlap and zero
+	// sketch overlap has estimate exactly 0 < θ, so only records appearing
+	// in at least one posting list can qualify. K∩ is accumulated exactly
+	// (same element ⇔ same hash value).
+	m := len(ix.records)
+	counts := make([]int32, m) // K∩ per record
+	seen := make([]bool, m)
+	touched := make([]int32, 0, 256)
+	for _, e := range sig.rest {
+		for _, id := range ix.postings[e] {
+			if !seen[id] {
+				seen[id] = true
+				touched = append(touched, id)
+			}
+			counts[id]++
+		}
+	}
+	// A record with zero sketch overlap (K∩ = 0, so D̂∩ = 0) can still
+	// qualify through the exact buffer part when |H_Q ∩ H_X| ≥ θ. Such a
+	// record shares at least c = ⌈θ⌉ of the query's nq buffered bits, so —
+	// prefix-filter style — it must contain one of any fixed (nq − c + 1)
+	// of them. Scanning only the nq−c+1 *rarest* bits' posting lists keeps
+	// this exact while skipping the head elements' huge lists.
+	if sig.buffer != nil {
+		qBits := sig.buffer.Ones()
+		c := int(theta)
+		if float64(c) < theta {
+			c++ // ⌈θ⌉
+		}
+		if c >= 1 && c <= len(qBits) {
+			sort.Slice(qBits, func(a, b int) bool {
+				return len(ix.bufferPostings[qBits[a]]) < len(ix.bufferPostings[qBits[b]])
+			})
+			for _, bit := range qBits[:len(qBits)-c+1] {
+				for _, id := range ix.bufferPostings[bit] {
+					if !seen[id] {
+						seen[id] = true
+						touched = append(touched, id)
+					}
+				}
+			}
+		}
+	}
+	// The paper's K∩ ≥ o prune (Section IV-B, "Implementation"): the
+	// G-KMV estimate is D̂∩ = K∩·(k−1)/(k·U(k)) ≤ K∩/U(k), and U(k) — the
+	// largest hash in L_Q ∪ L_X — is at least the largest hash of L_Q
+	// alone. A candidate can only reach the remaining overlap need
+	// θ − |H_Q ∩ H_X| if K∩ ≥ need·max(L_Q).
+	qMax := 0.0
+	if hs := sig.sketch.Hashes(); len(hs) > 0 {
+		qMax = hs[len(hs)-1]
+	}
+	out := []int{}
+	for _, id := range touched {
+		need := theta
+		if sig.buffer != nil && ix.buffers[id] != nil {
+			need -= float64(sig.buffer.AndCount(ix.buffers[id]))
+		}
+		if need <= 0 {
+			// The exact buffer part alone meets the threshold.
+			out = append(out, int(id))
+			continue
+		}
+		if float64(counts[id]) < need*qMax {
+			continue
+		}
+		if ix.EstimateIntersection(sig, int(id)) >= theta {
+			out = append(out, int(id))
+		}
+	}
+	sort.Ints(out)
+	return out
+}
+
+// SearchLinear is the plain Algorithm 2 of the paper: it scans every record,
+// estimates |Q ∩ X| by Equation 27 and keeps records meeting θ = t*·|Q|.
+// Results are sorted ascending. It exists as the reference implementation
+// for Search and for the ablation benchmarks.
+func (ix *Index) SearchLinear(q dataset.Record, tstar float64) []int {
+	sig := ix.Sketch(q)
+	theta := tstar * float64(sig.Size)
+	out := []int{}
+	for i := range ix.records {
+		if ix.EstimateIntersection(sig, i) >= theta {
+			out = append(out, i)
+		}
+	}
+	return out
+}
+
+// AddRecord appends a record to the index under the fixed space budget
+// ("Processing Dynamic Data", Section IV-B): the global threshold is
+// recomputed for the enlarged dataset and every sketch is trimmed to the new
+// (never larger) threshold. The buffered element set E_H is kept fixed; a
+// full rebuild refreshes it.
+func (ix *Index) AddRecord(rec dataset.Record) {
+	ix.records = append(ix.records, rec)
+	buf, sk := ix.sketchRecord(rec)
+	ix.buffers = append(ix.buffers, buf)
+	ix.sketches = append(ix.sketches, sk)
+
+	if over := ix.UsedUnits() - ix.budget; over > 0 {
+		// shrinkThreshold rebuilds every sketch and all posting lists,
+		// including the new record's.
+		ix.shrinkThreshold(over)
+		return
+	}
+
+	// Under budget: maintain the inverted lists incrementally.
+	id := int32(len(ix.records) - 1)
+	for _, e := range rec {
+		if _, buffered := ix.bitOf[e]; buffered {
+			continue
+		}
+		if hash.UnitHash(e, ix.opt.Seed) <= ix.tau {
+			ix.postings[e] = append(ix.postings[e], id)
+		}
+	}
+	if buf != nil {
+		for _, bit := range buf.Ones() {
+			ix.bufferPostings[bit] = append(ix.bufferPostings[bit], id)
+		}
+	}
+}
+
+// shrinkThreshold lowers τ just enough to evict `over` stored hash values,
+// then rebuilds sketches and postings under the new threshold.
+func (ix *Index) shrinkThreshold(over int) {
+	// Collect all stored hash values; the new τ is the (total-over)-th
+	// smallest.
+	all := []float64{}
+	for _, s := range ix.sketches {
+		all = append(all, s.Hashes()...)
+	}
+	keep := len(all) - over
+	if keep < 1 {
+		keep = 1
+	}
+	sort.Float64s(all)
+	ix.tau = all[keep-1]
+	ix.sketchAll()
+	ix.buildPostings()
+}

@@ -1,0 +1,76 @@
+package core
+
+import (
+	"encoding/gob"
+	"errors"
+	"fmt"
+	"io"
+
+	"gbkmv/internal/bitmap"
+	"gbkmv/internal/dataset"
+	"gbkmv/internal/gkmv"
+	"gbkmv/internal/hash"
+)
+
+// indexWire is the gob-encoded form of an Index. Sketches and buffers are
+// not serialized: they are cheap, deterministic functions of (records,
+// options, bufferElems, tau), so rebuilding them on load avoids both wire
+// size and any drift between stored and derived state.
+type indexWire struct {
+	Version     int
+	Opt         Options
+	Records     []dataset.Record
+	BufferElems []hash.Element
+	Tau         float64
+	BufferBits  int
+	Budget      int
+}
+
+const wireVersion = 1
+
+// Save serializes the index. The format is self-contained: Load rebuilds
+// the exact same sketches (hashing is deterministic in the stored seed).
+func (ix *Index) Save(w io.Writer) error {
+	return gob.NewEncoder(w).Encode(indexWire{
+		Version:     wireVersion,
+		Opt:         ix.opt,
+		Records:     ix.records,
+		BufferElems: ix.bufferElems,
+		Tau:         ix.tau,
+		BufferBits:  ix.bufferBits,
+		Budget:      ix.budget,
+	})
+}
+
+// Load reconstructs an index written by Save.
+func Load(r io.Reader) (*Index, error) {
+	var w indexWire
+	if err := gob.NewDecoder(r).Decode(&w); err != nil {
+		return nil, fmt.Errorf("core: decoding index: %v", err)
+	}
+	if w.Version != wireVersion {
+		return nil, fmt.Errorf("core: unsupported index version %d", w.Version)
+	}
+	if len(w.Records) == 0 {
+		return nil, errors.New("core: serialized index has no records")
+	}
+	ix := &Index{
+		opt:         w.Opt,
+		records:     w.Records,
+		bufferElems: w.BufferElems,
+		tau:         w.Tau,
+		bufferBits:  w.BufferBits,
+		budget:      w.Budget,
+	}
+	ix.bitOf = make(map[hash.Element]int, len(ix.bufferElems))
+	for i, e := range ix.bufferElems {
+		ix.bitOf[e] = i
+	}
+	ix.buffers = make([]*bitmap.Bitmap, len(ix.records))
+	ix.sketches = make([]*gkmv.Sketch, len(ix.records))
+	for i, rec := range ix.records {
+		ix.buffers[i], ix.sketches[i] = ix.sketchRecord(rec)
+	}
+	ix.buildPostings()
+	return ix, nil
+}

@@ -1,0 +1,115 @@
+package core
+
+import (
+	"runtime"
+	"sort"
+	"sync"
+
+	"gbkmv/internal/dataset"
+)
+
+// Scored pairs a record id with its estimated containment similarity.
+type Scored struct {
+	ID    int
+	Score float64
+}
+
+// SearchTopK returns the k records with the highest estimated containment
+// similarity C(Q, X), best first (ties broken by ascending id). Records with
+// estimate 0 are never returned, so fewer than k results are possible.
+func (ix *Index) SearchTopK(q dataset.Record, k int) []Scored {
+	if k <= 0 {
+		return nil
+	}
+	sig := ix.Sketch(q)
+	if sig.Size == 0 {
+		return nil
+	}
+	// Candidate generation as in SearchSig with θ → 0⁺: any record sharing
+	// a sketch element or a buffered element can score above zero.
+	m := len(ix.records)
+	seen := make([]bool, m)
+	cands := make([]int32, 0, 256)
+	for _, e := range sig.rest {
+		for _, id := range ix.postings[e] {
+			if !seen[id] {
+				seen[id] = true
+				cands = append(cands, id)
+			}
+		}
+	}
+	if sig.buffer != nil {
+		for _, bit := range sig.buffer.Ones() {
+			for _, id := range ix.bufferPostings[bit] {
+				if !seen[id] {
+					seen[id] = true
+					cands = append(cands, id)
+				}
+			}
+		}
+	}
+	scored := make([]Scored, 0, len(cands))
+	for _, id := range cands {
+		if s := ix.EstimateContainment(sig, int(id)); s > 0 {
+			scored = append(scored, Scored{ID: int(id), Score: s})
+		}
+	}
+	sort.Slice(scored, func(a, b int) bool {
+		if scored[a].Score != scored[b].Score {
+			return scored[a].Score > scored[b].Score
+		}
+		return scored[a].ID < scored[b].ID
+	})
+	if len(scored) > k {
+		scored = scored[:k]
+	}
+	return scored
+}
+
+// SearchBatch runs Search for every query concurrently and returns the
+// per-query result slices in input order.
+func (ix *Index) SearchBatch(queries []dataset.Record, tstar float64) [][]int {
+	out := make([][]int, len(queries))
+	var wg sync.WaitGroup
+	sem := make(chan struct{}, runtime.GOMAXPROCS(0))
+	for i, q := range queries {
+		wg.Add(1)
+		sem <- struct{}{}
+		go func(i int, q dataset.Record) {
+			defer wg.Done()
+			out[i] = ix.Search(q, tstar)
+			<-sem
+		}(i, q)
+	}
+	wg.Wait()
+	return out
+}
+
+// Pair is one containment-join result: C(records[Q], records[X]) ≥ t*.
+type Pair struct {
+	Q, X int
+}
+
+// Join computes the approximate containment self-join of the indexed
+// collection: every ordered pair (i, j), i ≠ j, with estimated
+// C(X_i, X_j) ≥ tstar. Queries run concurrently; pairs are returned sorted
+// by (Q, X). This is the join-shaped workload PPjoin was designed for,
+// answered from the sketch.
+func (ix *Index) Join(tstar float64) []Pair {
+	results := ix.SearchBatch(ix.records, tstar)
+	pairs := []Pair{}
+	for q, ids := range results {
+		for _, x := range ids {
+			if x != q {
+				pairs = append(pairs, Pair{Q: q, X: x})
+			}
+		}
+	}
+	sort.Slice(pairs, func(a, b int) bool {
+		if pairs[a].Q != pairs[b].Q {
+			return pairs[a].Q < pairs[b].Q
+		}
+		return pairs[a].X < pairs[b].X
+	})
+	return pairs
+}

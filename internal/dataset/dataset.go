@@ -1,0 +1,378 @@
+// Package dataset provides the workload substrate for the reproduction: the
+// record model (a record is a set of elements), dataset-level statistics
+// (record-size and element-frequency skews, Table II of the paper), synthetic
+// generators that mimic the paper's seven real-life datasets, query sampling,
+// and (de)serialization.
+//
+// The paper evaluates on Netflix, Delicious, Canadian Open Data, Enron,
+// Reuters, Webspam and WDC Web Tables. Those corpora are not redistributable,
+// so Profiles reproduces each one's published shape — power-law exponents α1
+// (element frequency) and α2 (record size), record count, average length and
+// distinct-element count — at laptop scale. See DESIGN.md §3.
+package dataset
+
+import (
+	"encoding/gob"
+	"errors"
+	"fmt"
+	"io"
+	"math/rand"
+	"sort"
+
+	"gbkmv/internal/hash"
+	"gbkmv/internal/powerlaw"
+)
+
+// Record is a set of elements, stored sorted and deduplicated.
+type Record []hash.Element
+
+// NewRecord builds a Record from possibly unsorted, possibly duplicated
+// elements.
+func NewRecord(elems []hash.Element) Record {
+	r := make(Record, len(elems))
+	copy(r, elems)
+	sort.Slice(r, func(i, j int) bool { return r[i] < r[j] })
+	out := r[:0]
+	for i, e := range r {
+		if i == 0 || e != r[i-1] {
+			out = append(out, e)
+		}
+	}
+	return out
+}
+
+// Contains reports whether the record contains e (binary search).
+func (r Record) Contains(e hash.Element) bool {
+	i := sort.Search(len(r), func(i int) bool { return r[i] >= e })
+	return i < len(r) && r[i] == e
+}
+
+// IntersectSize returns |r ∩ o| by merging the two sorted records.
+func (r Record) IntersectSize(o Record) int {
+	i, j, c := 0, 0, 0
+	for i < len(r) && j < len(o) {
+		switch {
+		case r[i] < o[j]:
+			i++
+		case r[i] > o[j]:
+			j++
+		default:
+			c++
+			i++
+			j++
+		}
+	}
+	return c
+}
+
+// UnionSize returns |r ∪ o|.
+func (r Record) UnionSize(o Record) int {
+	return len(r) + len(o) - r.IntersectSize(o)
+}
+
+// Containment returns C(r, o) = |r ∩ o| / |r|, the containment similarity of
+// r in o (Definition 2 of the paper). It returns 0 for an empty r.
+func (r Record) Containment(o Record) float64 {
+	if len(r) == 0 {
+		return 0
+	}
+	return float64(r.IntersectSize(o)) / float64(len(r))
+}
+
+// Jaccard returns J(r, o) = |r ∩ o| / |r ∪ o| (Definition 1). It returns 0
+// when both records are empty.
+func (r Record) Jaccard(o Record) float64 {
+	u := r.UnionSize(o)
+	if u == 0 {
+		return 0
+	}
+	return float64(r.IntersectSize(o)) / float64(u)
+}
+
+// Dataset is a collection of records over a dense element universe
+// {0, ..., UniverseSize-1}.
+type Dataset struct {
+	Records  []Record
+	Universe int // number of distinct element ids allocated (upper bound)
+}
+
+// NumRecords returns m, the number of records.
+func (d *Dataset) NumRecords() int { return len(d.Records) }
+
+// TotalElements returns N = Σ|X_i|, the total number of element occurrences.
+func (d *Dataset) TotalElements() int {
+	n := 0
+	for _, r := range d.Records {
+		n += len(r)
+	}
+	return n
+}
+
+// AvgRecordLen returns the average record length.
+func (d *Dataset) AvgRecordLen() float64 {
+	if len(d.Records) == 0 {
+		return 0
+	}
+	return float64(d.TotalElements()) / float64(len(d.Records))
+}
+
+// Frequencies returns freq[e] = number of records containing element e, for
+// every e in [0, Universe).
+func (d *Dataset) Frequencies() []int {
+	freq := make([]int, d.Universe)
+	for _, r := range d.Records {
+		for _, e := range r {
+			freq[e]++
+		}
+	}
+	return freq
+}
+
+// DistinctElements returns the number of elements that occur in at least one
+// record.
+func (d *Dataset) DistinctElements() int {
+	n := 0
+	for _, f := range d.Frequencies() {
+		if f > 0 {
+			n++
+		}
+	}
+	return n
+}
+
+// RecordSizes returns the multiset of record sizes.
+func (d *Dataset) RecordSizes() []int {
+	out := make([]int, len(d.Records))
+	for i, r := range d.Records {
+		out[i] = len(r)
+	}
+	return out
+}
+
+// TopFrequent returns the ids of the r most frequent elements in decreasing
+// frequency order (ties broken by element id for determinism). If r exceeds
+// the number of occurring elements, all occurring elements are returned.
+func (d *Dataset) TopFrequent(r int) []hash.Element {
+	freq := d.Frequencies()
+	ids := make([]hash.Element, 0, len(freq))
+	for e, f := range freq {
+		if f > 0 {
+			ids = append(ids, hash.Element(e))
+		}
+	}
+	sort.Slice(ids, func(i, j int) bool {
+		fi, fj := freq[ids[i]], freq[ids[j]]
+		if fi != fj {
+			return fi > fj
+		}
+		return ids[i] < ids[j]
+	})
+	if r < len(ids) {
+		ids = ids[:r]
+	}
+	return ids
+}
+
+// Stats summarizes a dataset in the shape of Table II of the paper.
+type Stats struct {
+	NumRecords       int
+	AvgRecordLen     float64
+	DistinctElements int
+	TotalElements    int
+	AlphaFreq        float64 // fitted element-frequency exponent (α1)
+	AlphaSize        float64 // fitted record-size exponent (α2)
+}
+
+// ComputeStats fits both power-law exponents and gathers the Table II
+// summary. Fitting uses xmin=1 for frequencies and the dataset's minimum
+// record size for sizes.
+func (d *Dataset) ComputeStats() (Stats, error) {
+	s := Stats{
+		NumRecords:    d.NumRecords(),
+		AvgRecordLen:  d.AvgRecordLen(),
+		TotalElements: d.TotalElements(),
+	}
+	freq := d.Frequencies()
+	occurring := make([]int, 0, len(freq))
+	for _, f := range freq {
+		if f > 0 {
+			occurring = append(occurring, f)
+		}
+	}
+	s.DistinctElements = len(occurring)
+	a1, err := powerlaw.FitFrequencies(occurring, 1)
+	if err != nil {
+		return s, fmt.Errorf("dataset: fitting α1: %w", err)
+	}
+	s.AlphaFreq = a1
+	sizes := d.RecordSizes()
+	minSize := 1
+	if len(sizes) > 0 {
+		minSize = sizes[0]
+		for _, x := range sizes {
+			if x < minSize {
+				minSize = x
+			}
+		}
+	}
+	a2, err := powerlaw.FitMLE(sizes, minSize)
+	if err != nil {
+		return s, fmt.Errorf("dataset: fitting α2: %w", err)
+	}
+	s.AlphaSize = a2
+	return s, nil
+}
+
+// SampleQueries draws n records (without replacement when possible) to act
+// as queries, per the paper's protocol "the query Q is randomly chosen from
+// the records".
+func (d *Dataset) SampleQueries(n int, seed int64) []Record {
+	rng := rand.New(rand.NewSource(seed))
+	m := len(d.Records)
+	if m == 0 || n <= 0 {
+		return nil
+	}
+	if n >= m {
+		out := make([]Record, m)
+		copy(out, d.Records)
+		return out
+	}
+	perm := rng.Perm(m)
+	out := make([]Record, n)
+	for i := 0; i < n; i++ {
+		out[i] = d.Records[perm[i]]
+	}
+	return out
+}
+
+// Save writes the dataset with gob encoding.
+func (d *Dataset) Save(w io.Writer) error {
+	return gob.NewEncoder(w).Encode(d)
+}
+
+// Load reads a dataset written by Save.
+func Load(r io.Reader) (*Dataset, error) {
+	var d Dataset
+	if err := gob.NewDecoder(r).Decode(&d); err != nil {
+		return nil, fmt.Errorf("dataset: decoding: %w", err)
+	}
+	return &d, nil
+}
+
+// SyntheticConfig parameterizes the synthetic generator.
+type SyntheticConfig struct {
+	NumRecords int     // m
+	Universe   int     // n, number of distinct element ids
+	AlphaFreq  float64 // α1: Zipf exponent of element popularity ranks
+	AlphaSize  float64 // α2: power-law exponent of record sizes
+	MinSize    int     // smallest record size (paper discards < 10)
+	MaxSize    int     // largest record size
+}
+
+// Validate checks the configuration.
+func (c SyntheticConfig) Validate() error {
+	switch {
+	case c.NumRecords <= 0:
+		return errors.New("dataset: NumRecords must be positive")
+	case c.Universe <= 0:
+		return errors.New("dataset: Universe must be positive")
+	case c.AlphaFreq < 0 || c.AlphaSize < 0:
+		return errors.New("dataset: exponents must be non-negative")
+	case c.MinSize <= 0 || c.MaxSize < c.MinSize:
+		return errors.New("dataset: need 0 < MinSize ≤ MaxSize")
+	case c.MaxSize > c.Universe:
+		return errors.New("dataset: MaxSize cannot exceed Universe")
+	}
+	return nil
+}
+
+// Synthetic generates a dataset whose element frequencies follow a Zipf law
+// with exponent α1 over popularity ranks and whose record sizes follow a
+// bounded discrete power law with exponent α2 (Section IV-C1 assumptions).
+// Element ids are assigned so that id 0 is the most popular element.
+// Generation is deterministic in (cfg, seed).
+func Synthetic(cfg SyntheticConfig, seed int64) (*Dataset, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	rng := rand.New(rand.NewSource(seed))
+	sizeDist, err := powerlaw.NewDist(cfg.AlphaSize, cfg.MinSize, cfg.MaxSize)
+	if err != nil {
+		return nil, err
+	}
+	sampler := newZipfSampler(cfg.Universe, cfg.AlphaFreq)
+
+	records := make([]Record, cfg.NumRecords)
+	seen := make(map[hash.Element]struct{}, cfg.MaxSize)
+	for i := range records {
+		size := sizeDist.Sample(rng)
+		elems := make([]hash.Element, 0, size)
+		for k := range seen {
+			delete(seen, k)
+		}
+		// Rejection-sample distinct elements. With Universe >> size this
+		// terminates quickly; a deterministic fallback fills from the most
+		// popular unseen ranks if rejection stalls.
+		attempts := 0
+		for len(elems) < size && attempts < 50*size {
+			attempts++
+			e := sampler.sample(rng)
+			if _, dup := seen[e]; dup {
+				continue
+			}
+			seen[e] = struct{}{}
+			elems = append(elems, e)
+		}
+		for e := hash.Element(0); len(elems) < size; e++ {
+			if _, dup := seen[e]; dup {
+				continue
+			}
+			seen[e] = struct{}{}
+			elems = append(elems, e)
+		}
+		records[i] = NewRecord(elems)
+	}
+	return &Dataset{Records: records, Universe: cfg.Universe}, nil
+}
+
+// Uniform generates the supplementary-experiment dataset of Section V-F:
+// record sizes uniform on [minSize, maxSize] and each element drawn uniformly
+// from the universe.
+func Uniform(numRecords, universe, minSize, maxSize int, seed int64) (*Dataset, error) {
+	cfg := SyntheticConfig{
+		NumRecords: numRecords,
+		Universe:   universe,
+		AlphaFreq:  0,
+		AlphaSize:  0,
+		MinSize:    minSize,
+		MaxSize:    maxSize,
+	}
+	return Synthetic(cfg, seed)
+}
+
+// zipfSampler draws element ids with P(id = i) ∝ (i+1)^-alpha via inverse
+// CDF sampling with binary search.
+type zipfSampler struct {
+	cdf []float64
+}
+
+func newZipfSampler(n int, alpha float64) *zipfSampler {
+	w := powerlaw.ZipfWeights(n, alpha)
+	cdf := make([]float64, n)
+	sum := 0.0
+	for i, x := range w {
+		sum += x
+		cdf[i] = sum
+	}
+	cdf[n-1] = 1
+	return &zipfSampler{cdf: cdf}
+}
+
+func (z *zipfSampler) sample(rng *rand.Rand) hash.Element {
+	u := rng.Float64()
+	i := sort.SearchFloat64s(z.cdf, u)
+	if i >= len(z.cdf) {
+		i = len(z.cdf) - 1
+	}
+	return hash.Element(i)
+}

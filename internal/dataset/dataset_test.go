@@ -1,0 +1,424 @@
+package dataset
+
+import (
+	"bytes"
+	"math"
+	"testing"
+	"testing/quick"
+
+	"gbkmv/internal/hash"
+)
+
+func TestNewRecordSortsAndDedups(t *testing.T) {
+	r := NewRecord([]hash.Element{5, 1, 5, 3, 1})
+	want := []hash.Element{1, 3, 5}
+	if len(r) != len(want) {
+		t.Fatalf("record = %v, want %v", r, want)
+	}
+	for i := range want {
+		if r[i] != want[i] {
+			t.Fatalf("record = %v, want %v", r, want)
+		}
+	}
+}
+
+func TestNewRecordEmpty(t *testing.T) {
+	if r := NewRecord(nil); len(r) != 0 {
+		t.Errorf("NewRecord(nil) = %v", r)
+	}
+}
+
+func TestContains(t *testing.T) {
+	r := NewRecord([]hash.Element{2, 4, 6})
+	for _, e := range []hash.Element{2, 4, 6} {
+		if !r.Contains(e) {
+			t.Errorf("Contains(%d) = false", e)
+		}
+	}
+	for _, e := range []hash.Element{1, 3, 7} {
+		if r.Contains(e) {
+			t.Errorf("Contains(%d) = true", e)
+		}
+	}
+}
+
+func recordFromUint16s(xs []uint16) (Record, map[hash.Element]bool) {
+	elems := make([]hash.Element, len(xs))
+	set := make(map[hash.Element]bool)
+	for i, x := range xs {
+		elems[i] = hash.Element(x)
+		set[hash.Element(x)] = true
+	}
+	return NewRecord(elems), set
+}
+
+func TestIntersectUnionProperty(t *testing.T) {
+	f := func(xs, ys []uint16) bool {
+		a, sa := recordFromUint16s(xs)
+		b, sb := recordFromUint16s(ys)
+		wantInter := 0
+		for e := range sa {
+			if sb[e] {
+				wantInter++
+			}
+		}
+		wantUnion := len(sa) + len(sb) - wantInter
+		return a.IntersectSize(b) == wantInter &&
+			b.IntersectSize(a) == wantInter &&
+			a.UnionSize(b) == wantUnion
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestContainmentPaperExample(t *testing.T) {
+	// Example 1 / Fig. 1 of the paper.
+	x1 := NewRecord([]hash.Element{1, 2, 3, 4, 7})
+	x2 := NewRecord([]hash.Element{2, 3, 5})
+	x3 := NewRecord([]hash.Element{2, 4, 5})
+	x4 := NewRecord([]hash.Element{1, 2, 6, 10})
+	q := NewRecord([]hash.Element{1, 2, 3, 5, 7, 9})
+	cases := []struct {
+		x    Record
+		want float64
+	}{
+		{x1, 4.0 / 6.0}, // paper rounds to 0.67
+		{x2, 3.0 / 6.0},
+		{x3, 2.0 / 6.0},
+		{x4, 2.0 / 6.0},
+	}
+	for i, c := range cases {
+		if got := q.Containment(c.x); math.Abs(got-c.want) > 1e-12 {
+			t.Errorf("C(Q, X%d) = %v, want %v", i+1, got, c.want)
+		}
+	}
+}
+
+func TestJaccardIntroExample(t *testing.T) {
+	// Intro example: Q={five,guys}, X has 9 words incl. both, Y has 3 words
+	// incl. "five" only. J(Q,X)=2/9, J(Q,Y)=1/4, C(Q,X)=1, C(Q,Y)=0.5.
+	q := NewRecord([]hash.Element{1, 2})
+	x := NewRecord([]hash.Element{1, 2, 3, 4, 5, 6, 7, 8, 9})
+	y := NewRecord([]hash.Element{1, 10, 11})
+	if got := q.Jaccard(x); math.Abs(got-2.0/9.0) > 1e-12 {
+		t.Errorf("J(Q,X) = %v", got)
+	}
+	if got := q.Jaccard(y); math.Abs(got-0.25) > 1e-12 {
+		t.Errorf("J(Q,Y) = %v", got)
+	}
+	if got := q.Containment(x); got != 1.0 {
+		t.Errorf("C(Q,X) = %v", got)
+	}
+	if got := q.Containment(y); got != 0.5 {
+		t.Errorf("C(Q,Y) = %v", got)
+	}
+}
+
+func TestContainmentEmptyQuery(t *testing.T) {
+	var q Record
+	x := NewRecord([]hash.Element{1})
+	if got := q.Containment(x); got != 0 {
+		t.Errorf("empty-query containment = %v", got)
+	}
+	if got := q.Jaccard(Record{}); got != 0 {
+		t.Errorf("empty-empty jaccard = %v", got)
+	}
+}
+
+func TestSyntheticConfigValidate(t *testing.T) {
+	good := SyntheticConfig{NumRecords: 10, Universe: 100, AlphaFreq: 1, AlphaSize: 2, MinSize: 1, MaxSize: 10}
+	if err := good.Validate(); err != nil {
+		t.Fatalf("valid config rejected: %v", err)
+	}
+	bad := []SyntheticConfig{
+		{NumRecords: 0, Universe: 100, MinSize: 1, MaxSize: 10},
+		{NumRecords: 10, Universe: 0, MinSize: 1, MaxSize: 10},
+		{NumRecords: 10, Universe: 100, AlphaFreq: -1, MinSize: 1, MaxSize: 10},
+		{NumRecords: 10, Universe: 100, MinSize: 0, MaxSize: 10},
+		{NumRecords: 10, Universe: 100, MinSize: 5, MaxSize: 4},
+		{NumRecords: 10, Universe: 5, MinSize: 1, MaxSize: 10},
+	}
+	for i, c := range bad {
+		if err := c.Validate(); err == nil {
+			t.Errorf("bad config %d accepted", i)
+		}
+	}
+}
+
+func TestSyntheticShape(t *testing.T) {
+	cfg := SyntheticConfig{
+		NumRecords: 500, Universe: 5000,
+		AlphaFreq: 1.1, AlphaSize: 2.5,
+		MinSize: 10, MaxSize: 200,
+	}
+	d, err := Synthetic(cfg, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.NumRecords() != 500 {
+		t.Fatalf("NumRecords = %d", d.NumRecords())
+	}
+	for i, r := range d.Records {
+		if len(r) < cfg.MinSize || len(r) > cfg.MaxSize {
+			t.Fatalf("record %d has size %d outside [%d,%d]", i, len(r), cfg.MinSize, cfg.MaxSize)
+		}
+		for j := 1; j < len(r); j++ {
+			if r[j] <= r[j-1] {
+				t.Fatalf("record %d not strictly sorted", i)
+			}
+		}
+		for _, e := range r {
+			if int(e) >= cfg.Universe {
+				t.Fatalf("record %d has out-of-universe element %d", i, e)
+			}
+		}
+	}
+}
+
+func TestSyntheticDeterministic(t *testing.T) {
+	cfg := SyntheticConfig{NumRecords: 50, Universe: 1000, AlphaFreq: 1, AlphaSize: 2, MinSize: 5, MaxSize: 50}
+	a, _ := Synthetic(cfg, 42)
+	b, _ := Synthetic(cfg, 42)
+	if a.NumRecords() != b.NumRecords() {
+		t.Fatal("different record counts")
+	}
+	for i := range a.Records {
+		if len(a.Records[i]) != len(b.Records[i]) {
+			t.Fatalf("record %d differs", i)
+		}
+		for j := range a.Records[i] {
+			if a.Records[i][j] != b.Records[i][j] {
+				t.Fatalf("record %d element %d differs", i, j)
+			}
+		}
+	}
+	c, _ := Synthetic(cfg, 43)
+	same := true
+	for i := range a.Records {
+		if len(a.Records[i]) != len(c.Records[i]) {
+			same = false
+			break
+		}
+	}
+	if same {
+		// Extremely unlikely that every record length matches across seeds.
+		t.Log("seed variation produced identical record lengths (suspicious but not fatal)")
+	}
+}
+
+func TestSyntheticSkewDirection(t *testing.T) {
+	// Higher α1 concentrates mass on few elements: top element's frequency
+	// share must grow with α1.
+	base := SyntheticConfig{NumRecords: 400, Universe: 2000, AlphaSize: 2, MinSize: 10, MaxSize: 50}
+	share := func(alpha float64) float64 {
+		cfg := base
+		cfg.AlphaFreq = alpha
+		d, err := Synthetic(cfg, 9)
+		if err != nil {
+			t.Fatal(err)
+		}
+		freq := d.Frequencies()
+		max, total := 0, 0
+		for _, f := range freq {
+			total += f
+			if f > max {
+				max = f
+			}
+		}
+		return float64(max) / float64(total)
+	}
+	low, high := share(0.2), share(1.5)
+	if high <= low {
+		t.Errorf("top-element share did not grow with α1: %v vs %v", low, high)
+	}
+}
+
+func TestFrequenciesAndDistinct(t *testing.T) {
+	d := &Dataset{
+		Records: []Record{
+			NewRecord([]hash.Element{0, 1}),
+			NewRecord([]hash.Element{1, 2}),
+		},
+		Universe: 5,
+	}
+	freq := d.Frequencies()
+	want := []int{1, 2, 1, 0, 0}
+	for i := range want {
+		if freq[i] != want[i] {
+			t.Fatalf("freq = %v, want %v", freq, want)
+		}
+	}
+	if d.DistinctElements() != 3 {
+		t.Errorf("DistinctElements = %d", d.DistinctElements())
+	}
+	if d.TotalElements() != 4 {
+		t.Errorf("TotalElements = %d", d.TotalElements())
+	}
+	if d.AvgRecordLen() != 2 {
+		t.Errorf("AvgRecordLen = %v", d.AvgRecordLen())
+	}
+}
+
+func TestTopFrequent(t *testing.T) {
+	d := &Dataset{
+		Records: []Record{
+			NewRecord([]hash.Element{0, 1, 2}),
+			NewRecord([]hash.Element{1, 2}),
+			NewRecord([]hash.Element{2}),
+		},
+		Universe: 4,
+	}
+	top := d.TopFrequent(2)
+	if len(top) != 2 || top[0] != 2 || top[1] != 1 {
+		t.Errorf("TopFrequent(2) = %v, want [2 1]", top)
+	}
+	all := d.TopFrequent(100)
+	if len(all) != 3 {
+		t.Errorf("TopFrequent(100) returned %d ids", len(all))
+	}
+}
+
+func TestTopFrequentDeterministicTies(t *testing.T) {
+	d := &Dataset{
+		Records:  []Record{NewRecord([]hash.Element{0, 1, 2, 3})},
+		Universe: 4,
+	}
+	a := d.TopFrequent(4)
+	for i := range a {
+		if a[i] != hash.Element(i) {
+			t.Errorf("tie-break not by id: %v", a)
+		}
+	}
+}
+
+func TestSampleQueries(t *testing.T) {
+	cfg := SyntheticConfig{NumRecords: 100, Universe: 1000, AlphaFreq: 1, AlphaSize: 1, MinSize: 5, MaxSize: 20}
+	d, _ := Synthetic(cfg, 5)
+	qs := d.SampleQueries(10, 1)
+	if len(qs) != 10 {
+		t.Fatalf("got %d queries", len(qs))
+	}
+	// Deterministic in seed.
+	qs2 := d.SampleQueries(10, 1)
+	for i := range qs {
+		if len(qs[i]) != len(qs2[i]) {
+			t.Fatal("query sampling not deterministic")
+		}
+	}
+	// Requesting more than m returns all records.
+	if got := len(d.SampleQueries(500, 2)); got != 100 {
+		t.Errorf("oversampled queries = %d, want 100", got)
+	}
+	if d.SampleQueries(0, 3) != nil {
+		t.Error("zero queries should be nil")
+	}
+}
+
+func TestSaveLoadRoundTrip(t *testing.T) {
+	cfg := SyntheticConfig{NumRecords: 30, Universe: 500, AlphaFreq: 1, AlphaSize: 2, MinSize: 5, MaxSize: 30}
+	d, _ := Synthetic(cfg, 11)
+	var buf bytes.Buffer
+	if err := d.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Load(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Universe != d.Universe || got.NumRecords() != d.NumRecords() {
+		t.Fatal("round trip changed shape")
+	}
+	for i := range d.Records {
+		if len(got.Records[i]) != len(d.Records[i]) {
+			t.Fatalf("record %d differs after round trip", i)
+		}
+	}
+}
+
+func TestLoadGarbage(t *testing.T) {
+	if _, err := Load(bytes.NewReader([]byte("not gob"))); err == nil {
+		t.Error("Load of garbage succeeded")
+	}
+}
+
+func TestComputeStats(t *testing.T) {
+	cfg := SyntheticConfig{NumRecords: 800, Universe: 8000, AlphaFreq: 1.2, AlphaSize: 3, MinSize: 10, MaxSize: 100}
+	d, _ := Synthetic(cfg, 21)
+	s, err := d.ComputeStats()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.NumRecords != 800 {
+		t.Errorf("NumRecords = %d", s.NumRecords)
+	}
+	if s.AvgRecordLen < float64(cfg.MinSize) || s.AvgRecordLen > float64(cfg.MaxSize) {
+		t.Errorf("AvgRecordLen = %v out of range", s.AvgRecordLen)
+	}
+	if s.AlphaFreq <= 0 {
+		t.Errorf("AlphaFreq = %v", s.AlphaFreq)
+	}
+	if s.AlphaSize <= 0 {
+		t.Errorf("AlphaSize = %v", s.AlphaSize)
+	}
+}
+
+func TestUniformGenerator(t *testing.T) {
+	d, err := Uniform(200, 5000, 10, 50, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.NumRecords() != 200 {
+		t.Fatalf("NumRecords = %d", d.NumRecords())
+	}
+	// Sizes should span the range reasonably evenly.
+	small, large := 0, 0
+	for _, r := range d.Records {
+		if len(r) < 30 {
+			small++
+		} else {
+			large++
+		}
+	}
+	if small == 0 || large == 0 {
+		t.Errorf("uniform sizes look skewed: %d small vs %d large", small, large)
+	}
+}
+
+func TestProfilesGenerate(t *testing.T) {
+	for _, p := range Profiles() {
+		if err := p.Config.Validate(); err != nil {
+			t.Errorf("profile %s invalid: %v", p.Name, err)
+		}
+	}
+	// Generate the smallest profile end-to-end.
+	p, err := ProfileByName("WDC")
+	if err != nil {
+		t.Fatal(err)
+	}
+	d, err := p.Generate(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.NumRecords() != p.Config.NumRecords {
+		t.Errorf("generated %d records", d.NumRecords())
+	}
+}
+
+func TestProfileByNameUnknown(t *testing.T) {
+	if _, err := ProfileByName("NOPE"); err == nil {
+		t.Error("unknown profile accepted")
+	}
+}
+
+func TestProfileNamesSortedComplete(t *testing.T) {
+	names := ProfileNames()
+	if len(names) != 7 {
+		t.Fatalf("got %d profiles, want 7", len(names))
+	}
+	for i := 1; i < len(names); i++ {
+		if names[i] <= names[i-1] {
+			t.Errorf("names not sorted: %v", names)
+		}
+	}
+}

@@ -1,0 +1,190 @@
+// Package eval provides the evaluation harness of Section V: parallel
+// brute-force ground truth for containment similarity search, precision /
+// recall / Fα scoring (Equation 35), per-query accuracy distributions
+// (Fig. 14) and simple query timing.
+package eval
+
+import (
+	"math"
+	"runtime"
+	"sync"
+	"time"
+
+	"gbkmv/internal/dataset"
+	"gbkmv/internal/stats"
+)
+
+// GroundTruth computes T = {X : C(Q, X) ≥ t*} exactly for one query.
+func GroundTruth(d *dataset.Dataset, q dataset.Record, tstar float64) []int {
+	out := []int{}
+	for i, x := range d.Records {
+		if q.Containment(x) >= tstar {
+			out = append(out, i)
+		}
+	}
+	return out
+}
+
+// GroundTruthAll computes the ground truth of every query in parallel.
+func GroundTruthAll(d *dataset.Dataset, queries []dataset.Record, tstar float64) [][]int {
+	out := make([][]int, len(queries))
+	var wg sync.WaitGroup
+	sem := make(chan struct{}, runtime.GOMAXPROCS(0))
+	for i, q := range queries {
+		wg.Add(1)
+		sem <- struct{}{}
+		go func(i int, q dataset.Record) {
+			defer wg.Done()
+			out[i] = GroundTruth(d, q, tstar)
+			<-sem
+		}(i, q)
+	}
+	wg.Wait()
+	return out
+}
+
+// Confusion holds the per-query retrieval counts.
+type Confusion struct {
+	TruePositives  int
+	FalsePositives int
+	FalseNegatives int
+}
+
+// Compare computes the confusion counts of a returned id set against the
+// ground truth set. Both slices must be duplicate-free; order is irrelevant.
+func Compare(truth, returned []int) Confusion {
+	inTruth := make(map[int]struct{}, len(truth))
+	for _, id := range truth {
+		inTruth[id] = struct{}{}
+	}
+	var c Confusion
+	for _, id := range returned {
+		if _, ok := inTruth[id]; ok {
+			c.TruePositives++
+		} else {
+			c.FalsePositives++
+		}
+	}
+	c.FalseNegatives = len(truth) - c.TruePositives
+	return c
+}
+
+// Add accumulates another confusion.
+func (c *Confusion) Add(o Confusion) {
+	c.TruePositives += o.TruePositives
+	c.FalsePositives += o.FalsePositives
+	c.FalseNegatives += o.FalseNegatives
+}
+
+// Precision returns |T∩A| / |A|; by convention 1 when nothing was returned
+// and nothing should have been, else 0 for an empty answer with a non-empty
+// truth... precision of an empty answer is defined as 1 if truth is empty,
+// 0 otherwise would divide by zero — we return 1 when A is empty and T is
+// empty, and 0 when A is empty but T is not (the query retrieved nothing
+// useful).
+func (c Confusion) Precision() float64 {
+	den := c.TruePositives + c.FalsePositives
+	if den == 0 {
+		if c.FalseNegatives == 0 {
+			return 1
+		}
+		return 0
+	}
+	return float64(c.TruePositives) / float64(den)
+}
+
+// Recall returns |T∩A| / |T|, and 1 when the truth set is empty.
+func (c Confusion) Recall() float64 {
+	den := c.TruePositives + c.FalseNegatives
+	if den == 0 {
+		return 1
+	}
+	return float64(c.TruePositives) / float64(den)
+}
+
+// F computes the Fα score (Equation 35). α = 1 weights precision and recall
+// equally; α = 0.5 weights precision more (used because LSH-E favours
+// recall).
+func (c Confusion) F(alpha float64) float64 {
+	p, r := c.Precision(), c.Recall()
+	den := alpha*alpha*p + r
+	if den == 0 {
+		return 0
+	}
+	return (1 + alpha*alpha) * p * r / den
+}
+
+// F1 is F(1).
+func (c Confusion) F1() float64 { return c.F(1) }
+
+// F05 is F(0.5).
+func (c Confusion) F05() float64 { return c.F(0.5) }
+
+// Searcher abstracts the systems under evaluation.
+type Searcher interface {
+	Search(q dataset.Record, tstar float64) []int
+}
+
+// SearcherFunc adapts a function to the Searcher interface.
+type SearcherFunc func(q dataset.Record, tstar float64) []int
+
+// Search implements Searcher.
+func (f SearcherFunc) Search(q dataset.Record, tstar float64) []int { return f(q, tstar) }
+
+// Result aggregates an evaluation run over a query workload.
+type Result struct {
+	Macro        Confusion // summed confusion over all queries
+	F1           float64   // macro F1 (from summed counts)
+	F05          float64   // macro F0.5
+	Precision    float64
+	Recall       float64
+	PerQueryF1   stats.Summary // distribution of per-query F1 (Fig. 14)
+	AvgQueryTime time.Duration
+	TotalTime    time.Duration
+}
+
+// Run evaluates a searcher on a query workload at threshold tstar against
+// precomputed ground truth (use GroundTruthAll). len(truth) must equal
+// len(queries).
+func Run(s Searcher, queries []dataset.Record, truth [][]int, tstar float64) Result {
+	var res Result
+	perF1 := make([]float64, 0, len(queries))
+	start := time.Now()
+	for i, q := range queries {
+		qStart := time.Now()
+		returned := s.Search(q, tstar)
+		res.TotalTime += time.Since(qStart)
+		c := Compare(truth[i], returned)
+		res.Macro.Add(c)
+		perF1 = append(perF1, c.F1())
+		_ = start
+	}
+	if len(queries) > 0 {
+		res.AvgQueryTime = res.TotalTime / time.Duration(len(queries))
+	}
+	res.F1 = res.Macro.F1()
+	res.F05 = res.Macro.F05()
+	res.Precision = res.Macro.Precision()
+	res.Recall = res.Macro.Recall()
+	res.PerQueryF1 = stats.Summarize(perF1)
+	return res
+}
+
+// MeanAbsError measures the mean absolute containment-estimation error of an
+// estimator over all (query, record) pairs — the raw estimator quality
+// behind the retrieval metrics.
+func MeanAbsError(d *dataset.Dataset, queries []dataset.Record,
+	estimate func(q dataset.Record, i int) float64) float64 {
+	var sum float64
+	var n int
+	for _, q := range queries {
+		for i, x := range d.Records {
+			sum += math.Abs(estimate(q, i) - q.Containment(x))
+			n++
+		}
+	}
+	if n == 0 {
+		return math.NaN()
+	}
+	return sum / float64(n)
+}

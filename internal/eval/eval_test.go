@@ -1,0 +1,192 @@
+package eval
+
+import (
+	"math"
+	"testing"
+
+	"gbkmv/internal/dataset"
+	"gbkmv/internal/hash"
+)
+
+func seqRecord(lo, hi int) dataset.Record {
+	elems := make([]hash.Element, 0, hi-lo)
+	for i := lo; i < hi; i++ {
+		elems = append(elems, hash.Element(i))
+	}
+	return dataset.NewRecord(elems)
+}
+
+func TestGroundTruthSmall(t *testing.T) {
+	d := &dataset.Dataset{
+		Records: []dataset.Record{
+			seqRecord(0, 4),   // C(Q, X0) = 4/6
+			seqRecord(0, 3),   // C = 3/6
+			seqRecord(10, 20), // C = 0
+		},
+		Universe: 20,
+	}
+	q := seqRecord(0, 6)
+	got := GroundTruth(d, q, 0.5)
+	if len(got) != 2 || got[0] != 0 || got[1] != 1 {
+		t.Errorf("GroundTruth = %v, want [0 1]", got)
+	}
+	got = GroundTruth(d, q, 0.6)
+	if len(got) != 1 || got[0] != 0 {
+		t.Errorf("GroundTruth at 0.6 = %v, want [0]", got)
+	}
+}
+
+func TestGroundTruthAllMatchesSequential(t *testing.T) {
+	cfg := dataset.SyntheticConfig{
+		NumRecords: 150, Universe: 2000,
+		AlphaFreq: 1.1, AlphaSize: 2,
+		MinSize: 10, MaxSize: 100,
+	}
+	d, err := dataset.Synthetic(cfg, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	queries := d.SampleQueries(10, 2)
+	all := GroundTruthAll(d, queries, 0.4)
+	for i, q := range queries {
+		want := GroundTruth(d, q, 0.4)
+		if len(all[i]) != len(want) {
+			t.Fatalf("query %d: parallel %v != sequential %v", i, all[i], want)
+		}
+		for j := range want {
+			if all[i][j] != want[j] {
+				t.Fatalf("query %d mismatch", i)
+			}
+		}
+	}
+}
+
+func TestCompare(t *testing.T) {
+	c := Compare([]int{1, 2, 3}, []int{2, 3, 4, 5})
+	if c.TruePositives != 2 || c.FalsePositives != 2 || c.FalseNegatives != 1 {
+		t.Errorf("Compare = %+v", c)
+	}
+}
+
+func TestCompareEmpty(t *testing.T) {
+	c := Compare(nil, nil)
+	if c.Precision() != 1 || c.Recall() != 1 {
+		t.Errorf("empty/empty: precision %v recall %v, want 1/1", c.Precision(), c.Recall())
+	}
+	c = Compare([]int{1}, nil)
+	if c.Precision() != 0 || c.Recall() != 0 {
+		t.Errorf("missed-everything: precision %v recall %v, want 0/0", c.Precision(), c.Recall())
+	}
+	c = Compare(nil, []int{1})
+	if c.Precision() != 0 || c.Recall() != 1 {
+		t.Errorf("all-false-positives: precision %v recall %v, want 0/1", c.Precision(), c.Recall())
+	}
+}
+
+func TestPrecisionRecallF1(t *testing.T) {
+	c := Confusion{TruePositives: 6, FalsePositives: 2, FalseNegatives: 4}
+	if got := c.Precision(); math.Abs(got-0.75) > 1e-12 {
+		t.Errorf("Precision = %v", got)
+	}
+	if got := c.Recall(); math.Abs(got-0.6) > 1e-12 {
+		t.Errorf("Recall = %v", got)
+	}
+	wantF1 := 2 * 0.75 * 0.6 / (0.75 + 0.6)
+	if got := c.F1(); math.Abs(got-wantF1) > 1e-12 {
+		t.Errorf("F1 = %v, want %v", got, wantF1)
+	}
+}
+
+func TestFAlphaFormula(t *testing.T) {
+	// Equation 35 with α = 0.5: (1.25·P·R)/(0.25·P + R).
+	c := Confusion{TruePositives: 8, FalsePositives: 2, FalseNegatives: 8}
+	p, r := 0.8, 0.5
+	want := 1.25 * p * r / (0.25*p + r)
+	if got := c.F05(); math.Abs(got-want) > 1e-12 {
+		t.Errorf("F0.5 = %v, want %v", got, want)
+	}
+}
+
+func TestF05WeighsPrecision(t *testing.T) {
+	// Two systems with mirrored (P, R): F0.5 must favor the high-precision
+	// one while F1 treats them identically.
+	highP := Confusion{TruePositives: 9, FalsePositives: 1, FalseNegatives: 9} // P=0.9 R=0.5
+	highR := Confusion{TruePositives: 9, FalsePositives: 9, FalseNegatives: 1} // P=0.5 R=0.9
+	if math.Abs(highP.F1()-highR.F1()) > 1e-12 {
+		t.Errorf("F1 should be symmetric: %v vs %v", highP.F1(), highR.F1())
+	}
+	if highP.F05() <= highR.F05() {
+		t.Errorf("F0.5 should favor precision: %v vs %v", highP.F05(), highR.F05())
+	}
+}
+
+func TestFZeroDenominator(t *testing.T) {
+	c := Confusion{FalseNegatives: 3}
+	if got := c.F1(); got != 0 {
+		t.Errorf("F1 with zero P and R = %v", got)
+	}
+}
+
+func TestRunAgainstPerfectSearcher(t *testing.T) {
+	cfg := dataset.SyntheticConfig{
+		NumRecords: 100, Universe: 1500,
+		AlphaFreq: 1.1, AlphaSize: 2,
+		MinSize: 10, MaxSize: 80,
+	}
+	d, err := dataset.Synthetic(cfg, 12)
+	if err != nil {
+		t.Fatal(err)
+	}
+	queries := d.SampleQueries(8, 3)
+	truth := GroundTruthAll(d, queries, 0.5)
+	perfect := SearcherFunc(func(q dataset.Record, tstar float64) []int {
+		return GroundTruth(d, q, tstar)
+	})
+	res := Run(perfect, queries, truth, 0.5)
+	if res.F1 != 1 || res.Precision != 1 || res.Recall != 1 {
+		t.Errorf("perfect searcher scored F1=%v P=%v R=%v", res.F1, res.Precision, res.Recall)
+	}
+	if res.PerQueryF1.Min != 1 {
+		t.Errorf("per-query F1 min = %v", res.PerQueryF1.Min)
+	}
+	if res.AvgQueryTime < 0 {
+		t.Error("negative timing")
+	}
+}
+
+func TestRunAgainstEmptySearcher(t *testing.T) {
+	d := &dataset.Dataset{
+		Records:  []dataset.Record{seqRecord(0, 20), seqRecord(0, 25)},
+		Universe: 25,
+	}
+	queries := []dataset.Record{d.Records[0]}
+	truth := GroundTruthAll(d, queries, 0.5)
+	empty := SearcherFunc(func(dataset.Record, float64) []int { return nil })
+	res := Run(empty, queries, truth, 0.5)
+	if res.Recall != 0 {
+		t.Errorf("empty searcher recall = %v", res.Recall)
+	}
+}
+
+func TestMeanAbsError(t *testing.T) {
+	d := &dataset.Dataset{
+		Records:  []dataset.Record{seqRecord(0, 10), seqRecord(5, 15)},
+		Universe: 15,
+	}
+	queries := []dataset.Record{seqRecord(0, 10)}
+	// Perfect estimator → error 0.
+	got := MeanAbsError(d, queries, func(q dataset.Record, i int) float64 {
+		return q.Containment(d.Records[i])
+	})
+	if got != 0 {
+		t.Errorf("perfect estimator MAE = %v", got)
+	}
+	// Constant-zero estimator → mean of true containments (1 and 0.5)/2.
+	got = MeanAbsError(d, queries, func(dataset.Record, int) float64 { return 0 })
+	if math.Abs(got-0.75) > 1e-12 {
+		t.Errorf("zero estimator MAE = %v, want 0.75", got)
+	}
+	if !math.IsNaN(MeanAbsError(d, nil, nil)) {
+		t.Error("MAE with no queries should be NaN")
+	}
+}

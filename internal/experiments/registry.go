@@ -1,0 +1,72 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"sort"
+)
+
+// Runner executes one named experiment, writing its report to w.
+type Runner func(w io.Writer, cfg Config) error
+
+// wrap adapts the typed drivers to the Runner signature.
+func wrap[T any](f func(io.Writer, Config) (T, error)) Runner {
+	return func(w io.Writer, cfg Config) error {
+		_, err := f(w, cfg)
+		return err
+	}
+}
+
+// Registry maps experiment ids (DESIGN.md §5) to their drivers.
+func Registry() map[string]Runner {
+	return map[string]Runner{
+		"table2":                    wrap(Table2),
+		"table3":                    wrap(Table3),
+		"fig5":                      wrap(Fig5),
+		"fig6":                      wrap(Fig6),
+		"fig7-13":                   wrap(Fig7to13),
+		"fig14":                     wrap(Fig14),
+		"fig15":                     wrap(Fig15),
+		"fig16":                     wrap(Fig16),
+		"fig17":                     wrap(Fig17),
+		"fig18":                     wrap(Fig18),
+		"fig19a":                    wrap(Fig19a),
+		"fig19b":                    wrap(Fig19b),
+		"extra-baselines":           wrap(Baselines),
+		"extra-analysis":            wrap(Analysis),
+		"extra-scaling":             wrap(Scaling),
+		"ablation-global-threshold": wrap(AblationGlobalThreshold),
+		"ablation-buffer":           wrap(AblationBuffer),
+		"ablation-partitioned-kmv":  wrap(AblationPartitionedKMV),
+		"ablation-indexed-search":   wrap(AblationIndexedSearch),
+		"ablation-cost-model":       wrap(AblationCostModel),
+	}
+}
+
+// Names returns the experiment ids in stable order.
+func Names() []string {
+	reg := Registry()
+	names := make([]string, 0, len(reg))
+	for n := range reg {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// Run executes the named experiment, or every experiment for name "all".
+func Run(w io.Writer, name string, cfg Config) error {
+	if name == "all" {
+		for _, n := range Names() {
+			if err := Registry()[n](w, cfg); err != nil {
+				return fmt.Errorf("experiment %s: %w", n, err)
+			}
+		}
+		return nil
+	}
+	r, ok := Registry()[name]
+	if !ok {
+		return fmt.Errorf("unknown experiment %q (have: %v)", name, Names())
+	}
+	return r(w, cfg)
+}

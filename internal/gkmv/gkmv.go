@@ -1,0 +1,190 @@
+// Package gkmv implements the G-KMV sketch: a KMV sketch with a global hash
+// threshold τ (Section IV-A(2) of the paper). Every record keeps *all* hash
+// values below τ under one shared hash function. Because the threshold is
+// global, the k-th smallest hash value of L_Q ∪ L_X is guaranteed to be the
+// k-th smallest hash value of h(Q ∪ X) (Theorem 2), which legitimizes using
+//
+//	k = |L_Q ∪ L_X|   (Equation 24)
+//
+// in the KMV estimator — typically far larger than the min(k_Q, k_X) the
+// plain KMV sketch is restricted to (Equation 8), and therefore far more
+// accurate (Theorem 3).
+package gkmv
+
+import (
+	"errors"
+	"sort"
+
+	"gbkmv/internal/dataset"
+	"gbkmv/internal/hash"
+)
+
+// Sketch is a G-KMV synopsis: all unit hash values of the record's elements
+// that fall below the global threshold, sorted ascending.
+type Sketch struct {
+	hashes   []float64
+	tau      float64
+	complete bool // every element of the record hashed below τ
+}
+
+// Build constructs the G-KMV sketch of a record under threshold tau. All
+// sketches that are compared must share both seed and tau.
+func Build(r dataset.Record, tau float64, seed uint64) *Sketch {
+	if tau < 0 || tau > 1 {
+		panic("gkmv: threshold must be in [0, 1]")
+	}
+	hs := make([]float64, 0, int(float64(len(r))*tau)+1)
+	for _, e := range r {
+		if v := hash.UnitHash(e, seed); v <= tau {
+			hs = append(hs, v)
+		}
+	}
+	sort.Float64s(hs)
+	return &Sketch{hashes: hs, tau: tau, complete: len(hs) == len(r)}
+}
+
+// K returns the number of stored hash values.
+func (s *Sketch) K() int { return len(s.hashes) }
+
+// Tau returns the global threshold the sketch was built with.
+func (s *Sketch) Tau() float64 { return s.tau }
+
+// Complete reports whether every element of the record hashed below τ, in
+// which case the sketch is a lossless copy of the record's hash set.
+func (s *Sketch) Complete() bool { return s.complete }
+
+// Hashes returns the stored values ascending; the slice is owned by the
+// sketch.
+func (s *Sketch) Hashes() []float64 { return s.hashes }
+
+// SizeBytes returns the in-memory footprint of the stored signature.
+func (s *Sketch) SizeBytes() int { return 8 * len(s.hashes) }
+
+// DistinctEstimate returns the Beyer et al. estimator (k−1)/U(k) of the
+// number of distinct elements in the sketched record — exact when the
+// sketch is complete. A G-KMV sketch is a valid KMV sketch of its record
+// with k = |L_X| (Theorem 2 with Y = ∅), so the estimator applies directly.
+func (s *Sketch) DistinctEstimate() float64 {
+	if s.complete {
+		return float64(len(s.hashes))
+	}
+	k := len(s.hashes)
+	if k < 2 || s.hashes[k-1] == 0 {
+		return float64(k)
+	}
+	return float64(k-1) / s.hashes[k-1]
+}
+
+// Intersection carries the quantities of the G-KMV estimator.
+type Intersection struct {
+	K      int     // |L_Q ∪ L_X| (Equation 24)
+	KInter int     // |L_Q ∩ L_X|
+	UK     float64 // largest hash value in L_Q ∪ L_X
+	DUnion float64 // (k−1)/U(k)
+	DInter float64 // Equation 25
+	Exact  bool    // both sketches complete → DInter exact
+}
+
+// Intersect estimates |A ∩ B| with the G-KMV estimator (Equations 24–25).
+func Intersect(a, b *Sketch) Intersection {
+	k, kInter, uk := unionStats(a.hashes, b.hashes)
+	res := Intersection{K: k, KInter: kInter, UK: uk}
+	if a.complete && b.complete {
+		res.Exact = true
+		res.DUnion = float64(k)
+		res.DInter = float64(kInter)
+		return res
+	}
+	if k >= 2 && uk > 0 {
+		res.DUnion = float64(k-1) / uk
+		res.DInter = float64(kInter) / float64(k) * res.DUnion
+	}
+	return res
+}
+
+// unionStats merges two ascending hash slices, returning the distinct-union
+// size, the intersection size, and the maximum value.
+func unionStats(a, b []float64) (k, kInter int, uk float64) {
+	i, j := 0, 0
+	for i < len(a) && j < len(b) {
+		switch {
+		case a[i] < b[j]:
+			uk = a[i]
+			i++
+		case a[i] > b[j]:
+			uk = b[j]
+			j++
+		default:
+			uk = a[i]
+			kInter++
+			i++
+			j++
+		}
+		k++
+	}
+	for ; i < len(a); i++ {
+		uk = a[i]
+		k++
+	}
+	for ; j < len(b); j++ {
+		uk = b[j]
+		k++
+	}
+	return k, kInter, uk
+}
+
+// ContainmentEstimate estimates C(Q, X) = |Q ∩ X| / |Q| (Equation 26).
+func ContainmentEstimate(q, x *Sketch, qSize int) float64 {
+	if qSize <= 0 {
+		return 0
+	}
+	return Intersect(q, x).DInter / float64(qSize)
+}
+
+// ExpectedThreshold returns the expectation-based threshold τ = b/N of the
+// paper's analysis (Theorem 3 proof): with N total element occurrences and a
+// budget of b stored hash values, each element is kept with probability τ.
+func ExpectedThreshold(budget, totalElements int) float64 {
+	if totalElements <= 0 {
+		return 1
+	}
+	tau := float64(budget) / float64(totalElements)
+	if tau > 1 {
+		tau = 1
+	}
+	return tau
+}
+
+// ThresholdForBudget computes the largest τ such that the total number of
+// stored hash values across the dataset does not exceed budget — the "Line 3
+// of Algorithm 1" step. It hashes every occurrence once and selects the
+// budget-th smallest value, so the budget is met exactly (up to ties).
+func ThresholdForBudget(d *dataset.Dataset, budget int, seed uint64) (float64, error) {
+	if d == nil || len(d.Records) == 0 {
+		return 0, errors.New("gkmv: empty dataset")
+	}
+	if budget <= 0 {
+		return 0, errors.New("gkmv: budget must be positive")
+	}
+	all := make([]float64, 0, d.TotalElements())
+	for _, r := range d.Records {
+		for _, e := range r {
+			all = append(all, hash.UnitHash(e, seed))
+		}
+	}
+	if budget >= len(all) {
+		return 1, nil
+	}
+	sort.Float64s(all)
+	return all[budget-1], nil
+}
+
+// BuildAll builds the G-KMV sketch of every record in the dataset under a
+// shared threshold.
+func BuildAll(d *dataset.Dataset, tau float64, seed uint64) []*Sketch {
+	out := make([]*Sketch, len(d.Records))
+	for i, r := range d.Records {
+		out[i] = Build(r, tau, seed)
+	}
+	return out
+}

@@ -1,0 +1,420 @@
+package gkmv
+
+import (
+	"math"
+	"sort"
+	"testing"
+	"testing/quick"
+
+	"gbkmv/internal/dataset"
+	"gbkmv/internal/hash"
+	"gbkmv/internal/kmv"
+	"gbkmv/internal/minhash"
+)
+
+const testSeed = 0xBEEF
+
+func seqRecord(lo, hi int) dataset.Record {
+	elems := make([]hash.Element, 0, hi-lo)
+	for i := lo; i < hi; i++ {
+		elems = append(elems, hash.Element(i))
+	}
+	return dataset.NewRecord(elems)
+}
+
+func fromHashes(hs []float64, tau float64, complete bool) *Sketch {
+	s := make([]float64, len(hs))
+	copy(s, hs)
+	sort.Float64s(s)
+	return &Sketch{hashes: s, tau: tau, complete: complete}
+}
+
+func TestBuildKeepsExactlyBelowTau(t *testing.T) {
+	r := seqRecord(0, 1000)
+	tau := 0.3
+	s := Build(r, tau, testSeed)
+	want := 0
+	for _, e := range r {
+		if hash.UnitHash(e, testSeed) <= tau {
+			want++
+		}
+	}
+	if s.K() != want {
+		t.Errorf("K = %d, want %d", s.K(), want)
+	}
+	for _, h := range s.Hashes() {
+		if h > tau {
+			t.Fatalf("stored hash %v above threshold %v", h, tau)
+		}
+	}
+}
+
+func TestBuildPanicsOnBadTau(t *testing.T) {
+	for _, tau := range []float64{-0.1, 1.1} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("Build with tau=%v did not panic", tau)
+				}
+			}()
+			Build(seqRecord(0, 3), tau, testSeed)
+		}()
+	}
+}
+
+func TestBuildCompleteAtTauOne(t *testing.T) {
+	s := Build(seqRecord(0, 50), 1, testSeed)
+	if !s.Complete() {
+		t.Error("sketch with τ=1 should be complete")
+	}
+	if s.K() != 50 {
+		t.Errorf("K = %d, want 50", s.K())
+	}
+}
+
+func TestBuildExpectedSize(t *testing.T) {
+	// E[|L_X|] = τ·|X|; with |X| = 10000 and τ = 0.2, std ≈ 40.
+	r := seqRecord(0, 10000)
+	s := Build(r, 0.2, testSeed)
+	if math.Abs(float64(s.K())-2000) > 200 {
+		t.Errorf("K = %d, want ~2000", s.K())
+	}
+}
+
+func TestTheorem2UnionIsValidKMV(t *testing.T) {
+	// The k-th smallest value of L_X ∪ L_Y must equal the k-th smallest
+	// value of h(X ∪ Y) where k = |L_X ∪ L_Y| (Theorem 2).
+	x := seqRecord(0, 500)
+	y := seqRecord(250, 800)
+	tau := 0.25
+	sx := Build(x, tau, testSeed)
+	sy := Build(y, tau, testSeed)
+	k, _, uk := unionStats(sx.Hashes(), sy.Hashes())
+
+	union := dataset.NewRecord(append(append([]hash.Element{}, x...), y...))
+	all := make([]float64, len(union))
+	for i, e := range union {
+		all[i] = hash.UnitHash(e, testSeed)
+	}
+	sort.Float64s(all)
+	if k == 0 {
+		t.Fatal("empty union sketch; lower tau too aggressive for test")
+	}
+	if got := all[k-1]; got != uk {
+		t.Errorf("U(k) = %v, but k-th smallest of h(X∪Y) = %v", uk, got)
+	}
+}
+
+func TestIntersectPaperExample4(t *testing.T) {
+	// Fig. 3 / Example 4: τ = 0.5,
+	// L_Q = {0.10, 0.24, 0.33}, L_X1 = {0.24, 0.33, 0.47}.
+	// k = 4, U(k) = 0.47, K∩ = 2, D̂∩ = 2/4 · 3/0.47 ≈ 3.19, Ĉ ≈ 0.53.
+	lq := fromHashes([]float64{0.10, 0.24, 0.33}, 0.5, false)
+	lx := fromHashes([]float64{0.24, 0.33, 0.47}, 0.5, false)
+	res := Intersect(lq, lx)
+	if res.K != 4 {
+		t.Fatalf("k = %d, want 4", res.K)
+	}
+	if res.UK != 0.47 {
+		t.Fatalf("U(k) = %v, want 0.47", res.UK)
+	}
+	if res.KInter != 2 {
+		t.Fatalf("K∩ = %d, want 2", res.KInter)
+	}
+	want := 2.0 / 4.0 * 3.0 / 0.47
+	if math.Abs(res.DInter-want) > 1e-9 {
+		t.Errorf("D̂∩ = %v, want %v", res.DInter, want)
+	}
+	if got := res.DInter / 6; math.Abs(got-0.53) > 0.01 {
+		t.Errorf("containment = %v, want ≈0.53", got)
+	}
+}
+
+func TestIntersectExactWhenComplete(t *testing.T) {
+	a := Build(seqRecord(0, 30), 1, testSeed)
+	b := Build(seqRecord(20, 50), 1, testSeed)
+	res := Intersect(a, b)
+	if !res.Exact {
+		t.Fatal("complete sketches should give exact intersection")
+	}
+	if res.DInter != 10 {
+		t.Errorf("D̂∩ = %v, want exactly 10", res.DInter)
+	}
+	if res.DUnion != 50 {
+		t.Errorf("D̂∪ = %v, want exactly 50", res.DUnion)
+	}
+}
+
+func TestUnionStatsProperty(t *testing.T) {
+	f := func(xs, ys []uint16) bool {
+		toSorted := func(zs []uint16) []float64 {
+			set := map[float64]bool{}
+			for _, z := range zs {
+				set[float64(z)/65536] = true
+			}
+			out := make([]float64, 0, len(set))
+			for v := range set {
+				out = append(out, v)
+			}
+			sort.Float64s(out)
+			return out
+		}
+		a, b := toSorted(xs), toSorted(ys)
+		k, kInter, uk := unionStats(a, b)
+		set := map[float64]bool{}
+		inter := 0
+		for _, v := range a {
+			set[v] = true
+		}
+		for _, v := range b {
+			if set[v] {
+				inter++
+			}
+			set[v] = true
+		}
+		wantK := len(set)
+		wantUK := 0.0
+		for v := range set {
+			if v > wantUK {
+				wantUK = v
+			}
+		}
+		if k != wantK || kInter != inter {
+			return false
+		}
+		return k == 0 || uk == wantUK
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestIntersectStatistical(t *testing.T) {
+	// |Q∩X| = 1000 out of |Q∪X| = 5000; τ = 0.2 stores ~1000 values total,
+	// k ≈ 1000 → tight estimate.
+	q := seqRecord(0, 2000)
+	x := seqRecord(1000, 4000) // wait: overlap 1000
+	sq := Build(q, 0.2, testSeed)
+	sx := Build(x, 0.2, testSeed)
+	res := Intersect(sq, sx)
+	if math.Abs(res.DInter-1000)/1000 > 0.25 {
+		t.Errorf("D̂∩ = %v, want ~1000", res.DInter)
+	}
+}
+
+func TestGKMVBeatsKMVAtEqualBudget(t *testing.T) {
+	// Theorem 3's consequence: with the same budget, G-KMV's effective k is
+	// larger so its containment error is smaller. Average absolute error
+	// over several pairs and seeds.
+	type pair struct{ q, x dataset.Record }
+	pairs := []pair{
+		{seqRecord(0, 1000), seqRecord(500, 2500)},
+		{seqRecord(0, 800), seqRecord(200, 3000)},
+		{seqRecord(0, 1500), seqRecord(750, 1750)},
+	}
+	const budgetPerRecord = 64
+	var errKMV, errGKMV float64
+	trials := 0
+	for _, p := range pairs {
+		truth := p.q.Containment(p.x)
+		for seed := uint64(1); seed <= 10; seed++ {
+			kq := kmv.Build(p.q, budgetPerRecord, seed)
+			kx := kmv.Build(p.x, budgetPerRecord, seed)
+			errKMV += math.Abs(kmv.ContainmentEstimate(kq, kx, len(p.q)) - truth)
+
+			// G-KMV with the same *total* storage: τ chosen so that
+			// τ(|Q|+|X|) = 2·budgetPerRecord.
+			tau := 2.0 * budgetPerRecord / float64(len(p.q)+len(p.x))
+			gq := Build(p.q, tau, seed)
+			gx := Build(p.x, tau, seed)
+			errGKMV += math.Abs(ContainmentEstimate(gq, gx, len(p.q)) - truth)
+			trials++
+		}
+	}
+	errKMV /= float64(trials)
+	errGKMV /= float64(trials)
+	if errGKMV >= errKMV {
+		t.Errorf("G-KMV error %v not better than KMV %v at equal budget", errGKMV, errKMV)
+	}
+}
+
+func TestExpectedThreshold(t *testing.T) {
+	if got := ExpectedThreshold(100, 1000); got != 0.1 {
+		t.Errorf("ExpectedThreshold = %v, want 0.1", got)
+	}
+	if got := ExpectedThreshold(2000, 1000); got != 1 {
+		t.Errorf("ExpectedThreshold over-budget = %v, want 1", got)
+	}
+	if got := ExpectedThreshold(10, 0); got != 1 {
+		t.Errorf("ExpectedThreshold empty = %v, want 1", got)
+	}
+}
+
+func TestThresholdForBudgetExactFit(t *testing.T) {
+	cfg := dataset.SyntheticConfig{
+		NumRecords: 200, Universe: 5000,
+		AlphaFreq: 1.1, AlphaSize: 2,
+		MinSize: 10, MaxSize: 100,
+	}
+	d, err := dataset.Synthetic(cfg, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	budget := d.TotalElements() / 10
+	tau, err := ThresholdForBudget(d, budget, testSeed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	stored := 0
+	for _, s := range BuildAll(d, tau, testSeed) {
+		stored += s.K()
+	}
+	// Selection hits the budget exactly up to hash ties across records
+	// (duplicate elements in different records share a hash value).
+	if stored > budget+budget/20 || stored < budget-budget/20 {
+		t.Errorf("stored %d hash values for budget %d", stored, budget)
+	}
+}
+
+func TestThresholdForBudgetErrors(t *testing.T) {
+	if _, err := ThresholdForBudget(nil, 10, 1); err == nil {
+		t.Error("nil dataset accepted")
+	}
+	d := &dataset.Dataset{Universe: 1}
+	if _, err := ThresholdForBudget(d, 10, 1); err == nil {
+		t.Error("empty dataset accepted")
+	}
+	d2 := &dataset.Dataset{Records: []dataset.Record{seqRecord(0, 5)}, Universe: 5}
+	if _, err := ThresholdForBudget(d2, 0, 1); err == nil {
+		t.Error("zero budget accepted")
+	}
+}
+
+func TestThresholdForBudgetOversized(t *testing.T) {
+	d := &dataset.Dataset{Records: []dataset.Record{seqRecord(0, 5)}, Universe: 5}
+	tau, err := ThresholdForBudget(d, 1000, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tau != 1 {
+		t.Errorf("oversized budget tau = %v, want 1", tau)
+	}
+}
+
+func TestBuildAll(t *testing.T) {
+	d := &dataset.Dataset{
+		Records:  []dataset.Record{seqRecord(0, 10), seqRecord(5, 25)},
+		Universe: 25,
+	}
+	ss := BuildAll(d, 0.5, testSeed)
+	if len(ss) != 2 {
+		t.Fatalf("got %d sketches", len(ss))
+	}
+	for i, s := range ss {
+		want := Build(d.Records[i], 0.5, testSeed)
+		if s.K() != want.K() {
+			t.Errorf("sketch %d size mismatch", i)
+		}
+	}
+}
+
+func TestContainmentEstimateZeroQuery(t *testing.T) {
+	s := Build(seqRecord(0, 10), 0.5, testSeed)
+	if got := ContainmentEstimate(s, s, 0); got != 0 {
+		t.Errorf("containment with qSize=0 = %v", got)
+	}
+}
+
+func BenchmarkBuildTau01(b *testing.B) {
+	r := seqRecord(0, 5000)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		Build(r, 0.1, testSeed)
+	}
+}
+
+func BenchmarkIntersect(b *testing.B) {
+	x := Build(seqRecord(0, 5000), 0.1, testSeed)
+	y := Build(seqRecord(2500, 7500), 0.1, testSeed)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		Intersect(x, y)
+	}
+}
+
+func TestDistinctEstimate(t *testing.T) {
+	// Complete sketch: exact.
+	s := Build(seqRecord(0, 40), 1, testSeed)
+	if got := s.DistinctEstimate(); got != 40 {
+		t.Errorf("complete DistinctEstimate = %v, want 40", got)
+	}
+	// Thresholded sketch: statistical accuracy.
+	const n = 20000
+	big := Build(seqRecord(0, n), 0.05, testSeed)
+	got := big.DistinctEstimate()
+	if math.Abs(got-n)/n > 0.2 {
+		t.Errorf("DistinctEstimate = %v, want ~%d", got, n)
+	}
+	// Degenerate: empty and single-hash sketches do not divide by zero.
+	empty := Build(dataset.Record{}, 0.5, testSeed)
+	if got := empty.DistinctEstimate(); got != 0 {
+		t.Errorf("empty DistinctEstimate = %v", got)
+	}
+}
+
+func TestTheorem5GKMVBeatsMinHashVariance(t *testing.T) {
+	// Theorem 5: at the same *total* sketch size over a power-law dataset,
+	// the G-KMV containment estimator has smaller average variance than the
+	// MinHash-LSH estimator (Equation 14). The theorem is an average over
+	// the size distribution — G-KMV adapts storage to record size while
+	// MinHash spends k' values on every record — so we measure the mean
+	// squared error over pairs drawn from a size-skewed dataset.
+	cfg := dataset.SyntheticConfig{
+		NumRecords: 60, Universe: 30000,
+		AlphaFreq: 0.8, AlphaSize: 2.0,
+		MinSize: 50, MaxSize: 3000,
+	}
+	d, err := dataset.Synthetic(cfg, 17)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := d.TotalElements()
+	m := d.NumRecords()
+	const kPrime = 48 // MinHash hashes per record
+	budget := kPrime * m
+	tau := float64(budget) / float64(n)
+	if tau > 1 {
+		t.Fatalf("budget too large for the test dataset (tau=%v)", tau)
+	}
+
+	queries := d.SampleQueries(8, 5)
+	const trials = 12
+	var mseG, mseM float64
+	var cnt int
+	for trial := 0; trial < trials; trial++ {
+		seed := uint64(trial*101 + 3)
+		gs := BuildAll(d, tau, seed)
+		gen := minhash.NewGenerator(kPrime, seed)
+		sigs := make([]minhash.Signature, m)
+		for i, r := range d.Records {
+			sigs[i] = gen.Sign(r)
+		}
+		for _, q := range queries {
+			gq := Build(q, tau, seed)
+			sq := gen.Sign(q)
+			for i, x := range d.Records {
+				truth := q.Containment(x)
+				eg := ContainmentEstimate(gq, gs[i], len(q))
+				em := minhash.EstimateContainment(sq, sigs[i], len(q), len(x))
+				mseG += (eg - truth) * (eg - truth)
+				mseM += (em - truth) * (em - truth)
+				cnt++
+			}
+		}
+	}
+	mseG /= float64(cnt)
+	mseM /= float64(cnt)
+	if mseG >= mseM {
+		t.Errorf("Theorem 5 violated empirically: MSE[G-KMV]=%v >= MSE[MinHash]=%v", mseG, mseM)
+	}
+}

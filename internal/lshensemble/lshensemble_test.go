@@ -1,0 +1,338 @@
+package lshensemble
+
+import (
+	"math"
+	"testing"
+
+	"gbkmv/internal/dataset"
+)
+
+func testDataset(t *testing.T) *dataset.Dataset {
+	t.Helper()
+	cfg := dataset.SyntheticConfig{
+		NumRecords: 600, Universe: 5000,
+		AlphaFreq: 1.1, AlphaSize: 2.0,
+		MinSize: 20, MaxSize: 400,
+	}
+	d, err := dataset.Synthetic(cfg, 55)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return d
+}
+
+func TestBuildValidation(t *testing.T) {
+	d := testDataset(t)
+	if _, err := Build(nil, Options{}); err == nil {
+		t.Error("nil dataset accepted")
+	}
+	if _, err := Build(&dataset.Dataset{}, Options{}); err == nil {
+		t.Error("empty dataset accepted")
+	}
+	if _, err := Build(d, Options{NumHashes: -1}); err == nil {
+		t.Error("negative NumHashes accepted")
+	}
+}
+
+func TestBuildDefaults(t *testing.T) {
+	d := testDataset(t)
+	e, err := Build(d, Options{Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e.NumRecords() != 600 {
+		t.Errorf("NumRecords = %d", e.NumRecords())
+	}
+	if e.NumPartitions() != 32 {
+		t.Errorf("NumPartitions = %d, want 32", e.NumPartitions())
+	}
+	if e.SizeUnits() != 600*256 {
+		t.Errorf("SizeUnits = %d, want %d", e.SizeUnits(), 600*256)
+	}
+}
+
+func TestEqualDepthPartitioning(t *testing.T) {
+	d := testDataset(t)
+	e, err := Build(d, Options{Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	bounds := e.PartitionBounds()
+	// Bounds must be non-decreasing across partitions, and each partition's
+	// lower bound must be ≥ the previous partition's upper... equal-depth by
+	// size means ranges are ordered.
+	for i := 1; i < len(bounds); i++ {
+		if bounds[i][0] < bounds[i-1][1] && bounds[i][0] < bounds[i-1][0] {
+			t.Errorf("partition %d bounds %v precede partition %d bounds %v",
+				i, bounds[i], i-1, bounds[i-1])
+		}
+	}
+	for _, b := range bounds {
+		if b[0] > b[1] {
+			t.Errorf("partition bounds inverted: %v", b)
+		}
+	}
+}
+
+func TestQuerySelfRetrieval(t *testing.T) {
+	// A query identical to an indexed record has J = 1 within its
+	// partition, so it must be retrieved at any threshold.
+	d := testDataset(t)
+	e, err := Build(d, Options{Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	missed := 0
+	for i := 0; i < 30; i++ {
+		found := false
+		for _, id := range e.Query(d.Records[i], 0.5) {
+			if id == i {
+				found = true
+			}
+		}
+		if !found {
+			missed++
+		}
+	}
+	if missed > 1 {
+		t.Errorf("self-query missed %d/30 times", missed)
+	}
+}
+
+func TestQueryRecallAgainstGroundTruth(t *testing.T) {
+	// LSH-E favours recall (Section III-B): most true results should be in
+	// the candidate set at t* = 0.5.
+	d := testDataset(t)
+	e, err := Build(d, Options{Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	const tstar = 0.5
+	var tp, fn int
+	for _, q := range d.SampleQueries(25, 17) {
+		got := map[int]bool{}
+		for _, id := range e.Query(q, tstar) {
+			got[id] = true
+		}
+		for i, x := range d.Records {
+			if q.Containment(x) >= tstar {
+				if got[i] {
+					tp++
+				} else {
+					fn++
+				}
+			}
+		}
+	}
+	if tp == 0 {
+		t.Fatal("no true positives retrieved")
+	}
+	recall := float64(tp) / float64(tp+fn)
+	if recall < 0.5 {
+		t.Errorf("recall = %v, want ≥ 0.5", recall)
+	}
+}
+
+func TestQueryEmpty(t *testing.T) {
+	d := testDataset(t)
+	e, err := Build(d, Options{Seed: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := e.Query(dataset.Record{}, 0.5); got != nil {
+		t.Errorf("empty query returned %v", got)
+	}
+}
+
+func TestSizeFilterSkipsSmallPartitions(t *testing.T) {
+	// With a huge query and t* = 0.9, partitions of tiny records cannot
+	// qualify; the size filter must remove their candidates entirely.
+	d := testDataset(t)
+	e, err := Build(d, Options{Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var big dataset.Record
+	for _, r := range d.Records {
+		if len(r) > len(big) {
+			big = r
+		}
+	}
+	theta := 0.9 * float64(len(big))
+	for _, id := range e.Query(big, 0.9) {
+		if float64(len(d.Records[id])) < theta {
+			t.Errorf("record %d of size %d cannot reach overlap %v",
+				id, len(d.Records[id]), theta)
+		}
+	}
+}
+
+func TestOptimalParamsShape(t *testing.T) {
+	d := testDataset(t)
+	e, err := Build(d, Options{Seed: 6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Higher thresholds demand longer AND-chains (larger r) or fewer bands:
+	// the collision curve must shift right. Check the probe selectivity
+	// rises with s*: collisionProb at s=0.2 under params for s*=0.9 must be
+	// below that under params for s*=0.2.
+	bLow, rLow := e.OptimalParams(0.2)
+	bHigh, rHigh := e.OptimalParams(0.9)
+	pLow := collisionProb(0.2, bLow, rLow)
+	pHigh := collisionProb(0.2, bHigh, rHigh)
+	if pHigh > pLow {
+		t.Errorf("params for s*=0.9 (b=%d,r=%d) catch more low-sim pairs than for s*=0.2 (b=%d,r=%d)",
+			bHigh, rHigh, bLow, rLow)
+	}
+	// Clamping must not panic.
+	e.OptimalParams(-1)
+	e.OptimalParams(2)
+}
+
+func TestCollisionProbBounds(t *testing.T) {
+	for _, s := range []float64{0, 0.3, 0.7, 1} {
+		for _, b := range []int{1, 8, 32} {
+			for _, r := range []int{1, 4, 8} {
+				p := collisionProb(s, b, r)
+				if p < 0 || p > 1 {
+					t.Fatalf("collisionProb(%v,%d,%d) = %v", s, b, r, p)
+				}
+			}
+		}
+	}
+	if got := collisionProb(1, 16, 4); got != 1 {
+		t.Errorf("collisionProb(1) = %v, want 1", got)
+	}
+	if got := collisionProb(0, 16, 4); got != 0 {
+		t.Errorf("collisionProb(0) = %v, want 0", got)
+	}
+}
+
+func TestIntegrateKnownValues(t *testing.T) {
+	// ∫₀¹ x dx = 0.5
+	got := integrate(0, 1, func(x float64) float64 { return x })
+	if math.Abs(got-0.5) > 1e-9 {
+		t.Errorf("∫x = %v", got)
+	}
+	// ∫₀¹ x² dx = 1/3 (Simpson is exact for cubics)
+	got = integrate(0, 1, func(x float64) float64 { return x * x })
+	if math.Abs(got-1.0/3.0) > 1e-9 {
+		t.Errorf("∫x² = %v", got)
+	}
+	if got := integrate(1, 0, func(x float64) float64 { return x }); got != 0 {
+		t.Errorf("reversed bounds = %v, want 0", got)
+	}
+}
+
+func TestNonDivisibleHashCount(t *testing.T) {
+	// NumHashes not divisible by MaxBands: Build must adjust the band count
+	// rather than fail.
+	d := testDataset(t)
+	e, err := Build(d, Options{NumHashes: 100, MaxBands: 32, Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e.SizeUnits() != 600*100 {
+		t.Errorf("SizeUnits = %d", e.SizeUnits())
+	}
+	// Must still answer queries.
+	if got := e.Query(d.Records[0], 0.5); len(got) == 0 {
+		t.Log("query returned nothing (acceptable but unusual)")
+	}
+}
+
+func TestFewRecordsManyPartitions(t *testing.T) {
+	cfg := dataset.SyntheticConfig{
+		NumRecords: 5, Universe: 500,
+		AlphaFreq: 1, AlphaSize: 1,
+		MinSize: 10, MaxSize: 50,
+	}
+	d, err := dataset.Synthetic(cfg, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e, err := Build(d, Options{Seed: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e.NumPartitions() > 5 {
+		t.Errorf("NumPartitions = %d for 5 records", e.NumPartitions())
+	}
+	for i := range d.Records {
+		e.Query(d.Records[i], 0.5) // must not panic
+	}
+}
+
+func BenchmarkBuild(b *testing.B) {
+	cfg := dataset.SyntheticConfig{
+		NumRecords: 300, Universe: 3000,
+		AlphaFreq: 1.1, AlphaSize: 2,
+		MinSize: 20, MaxSize: 200,
+	}
+	d, err := dataset.Synthetic(cfg, 2)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Build(d, Options{Seed: 1}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkQuery(b *testing.B) {
+	cfg := dataset.SyntheticConfig{
+		NumRecords: 1000, Universe: 5000,
+		AlphaFreq: 1.1, AlphaSize: 2,
+		MinSize: 20, MaxSize: 200,
+	}
+	d, err := dataset.Synthetic(cfg, 2)
+	if err != nil {
+		b.Fatal(err)
+	}
+	e, err := Build(d, Options{Seed: 1})
+	if err != nil {
+		b.Fatal(err)
+	}
+	q := d.Records[0]
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		e.Query(q, 0.5)
+	}
+}
+
+func TestQueryVerifiedPerfectPrecision(t *testing.T) {
+	d := testDataset(t)
+	e, err := Build(d, Options{Seed: 12})
+	if err != nil {
+		t.Fatal(err)
+	}
+	const tstar = 0.5
+	for _, q := range d.SampleQueries(10, 21) {
+		for _, id := range e.QueryVerified(q, tstar) {
+			if q.Containment(d.Records[id]) < tstar {
+				t.Fatalf("verified result %d below threshold", id)
+			}
+		}
+	}
+}
+
+func TestQueryVerifiedSubsetOfQuery(t *testing.T) {
+	d := testDataset(t)
+	e, err := Build(d, Options{Seed: 13})
+	if err != nil {
+		t.Fatal(err)
+	}
+	q := d.Records[0]
+	raw := map[int]bool{}
+	for _, id := range e.Query(q, 0.5) {
+		raw[id] = true
+	}
+	for _, id := range e.QueryVerified(q, 0.5) {
+		if !raw[id] {
+			t.Fatalf("verified result %d not among raw candidates", id)
+		}
+	}
+}

@@ -1,0 +1,223 @@
+package powerlaw
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestNewDistValidation(t *testing.T) {
+	cases := []struct {
+		alpha      float64
+		xmin, xmax int
+	}{
+		{-1, 1, 10},
+		{math.NaN(), 1, 10},
+		{1, 0, 10},
+		{1, 5, 4},
+	}
+	for _, c := range cases {
+		if _, err := NewDist(c.alpha, c.xmin, c.xmax); err == nil {
+			t.Errorf("NewDist(%v,%d,%d) accepted invalid input", c.alpha, c.xmin, c.xmax)
+		}
+	}
+}
+
+func TestPMFSumsToOne(t *testing.T) {
+	for _, alpha := range []float64{0, 0.5, 1.1, 2.5} {
+		d, err := NewDist(alpha, 1, 500)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sum := 0.0
+		for x := 1; x <= 500; x++ {
+			sum += d.PMF(x)
+		}
+		if math.Abs(sum-1) > 1e-9 {
+			t.Errorf("alpha=%v: PMF sums to %v", alpha, sum)
+		}
+	}
+}
+
+func TestPMFOutsideSupport(t *testing.T) {
+	d, _ := NewDist(1, 5, 10)
+	if d.PMF(4) != 0 || d.PMF(11) != 0 {
+		t.Error("PMF outside support should be 0")
+	}
+}
+
+func TestPMFMonotoneDecreasing(t *testing.T) {
+	d, _ := NewDist(1.5, 1, 100)
+	for x := 1; x < 100; x++ {
+		if d.PMF(x) < d.PMF(x+1) {
+			t.Fatalf("PMF not decreasing at x=%d", x)
+		}
+	}
+}
+
+func TestUniformWhenAlphaZero(t *testing.T) {
+	d, _ := NewDist(0, 1, 10)
+	want := 0.1
+	for x := 1; x <= 10; x++ {
+		if math.Abs(d.PMF(x)-want) > 1e-12 {
+			t.Errorf("PMF(%d) = %v, want %v", x, d.PMF(x), want)
+		}
+	}
+}
+
+func TestSampleWithinSupport(t *testing.T) {
+	d, _ := NewDist(1.2, 10, 99)
+	rng := rand.New(rand.NewSource(1))
+	for i := 0; i < 10000; i++ {
+		x := d.Sample(rng)
+		if x < 10 || x > 99 {
+			t.Fatalf("sample %d outside support [10, 99]", x)
+		}
+	}
+}
+
+func TestSampleMatchesPMF(t *testing.T) {
+	d, _ := NewDist(1.0, 1, 20)
+	rng := rand.New(rand.NewSource(7))
+	const n = 200000
+	counts := make([]int, 21)
+	for i := 0; i < n; i++ {
+		counts[d.Sample(rng)]++
+	}
+	for x := 1; x <= 20; x++ {
+		got := float64(counts[x]) / n
+		want := d.PMF(x)
+		// 5-sigma binomial bound.
+		tol := 5 * math.Sqrt(want*(1-want)/n)
+		if math.Abs(got-want) > tol {
+			t.Errorf("x=%d: empirical %v vs PMF %v (tol %v)", x, got, want, tol)
+		}
+	}
+}
+
+func TestSampleNLength(t *testing.T) {
+	d, _ := NewDist(1, 1, 5)
+	rng := rand.New(rand.NewSource(3))
+	if got := len(d.SampleN(rng, 17)); got != 17 {
+		t.Errorf("SampleN length = %d", got)
+	}
+}
+
+func TestMeanAgainstClosedForm(t *testing.T) {
+	// Uniform on [1, 9]: mean = 5.
+	d, _ := NewDist(0, 1, 9)
+	if got := d.Mean(); math.Abs(got-5) > 1e-9 {
+		t.Errorf("Mean = %v, want 5", got)
+	}
+}
+
+func TestFitMLERecoversAlpha(t *testing.T) {
+	for _, alpha := range []float64{1.2, 2.0, 3.0} {
+		d, _ := NewDist(alpha, 1, 100000)
+		rng := rand.New(rand.NewSource(int64(alpha * 100)))
+		xs := d.SampleN(rng, 50000)
+		got, err := FitMLE(xs, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Exact bounded discrete MLE: expect close recovery.
+		if math.Abs(got-alpha)/alpha > 0.1 {
+			t.Errorf("alpha=%v: fitted %v", alpha, got)
+		}
+	}
+}
+
+func TestFitMLEErrors(t *testing.T) {
+	if _, err := FitMLE(nil, 1); err == nil {
+		t.Error("FitMLE(nil) should error")
+	}
+	if _, err := FitMLE([]int{5}, 1); err == nil {
+		t.Error("FitMLE with 1 sample should error")
+	}
+	if _, err := FitMLE([]int{2, 3}, 0); err == nil {
+		t.Error("FitMLE with xmin=0 should error")
+	}
+}
+
+func TestFitMLEDegenerate(t *testing.T) {
+	got, err := FitMLE([]int{1, 1, 1}, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !math.IsInf(got, 1) {
+		t.Errorf("degenerate fit = %v, want +Inf", got)
+	}
+}
+
+func TestFitMLEIgnoresBelowXmin(t *testing.T) {
+	xs := []int{1, 1, 1, 50, 60, 70, 80}
+	withAll, _ := FitMLE(xs, 1)
+	tailOnly, _ := FitMLE(xs, 50)
+	if withAll == tailOnly {
+		t.Error("xmin filtering had no effect")
+	}
+}
+
+func TestZipfWeightsNormalized(t *testing.T) {
+	f := func(nRaw uint8, alphaRaw uint8) bool {
+		n := int(nRaw)%100 + 1
+		alpha := float64(alphaRaw) / 64.0
+		w := ZipfWeights(n, alpha)
+		sum := 0.0
+		for i, x := range w {
+			sum += x
+			if i > 0 && x > w[i-1]+1e-15 {
+				return false // must be non-increasing
+			}
+		}
+		return math.Abs(sum-1) < 1e-9
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestMomentRatio(t *testing.T) {
+	// Two elements with equal frequency f: fn2 = 2f²/(2f)² = 1/2... no:
+	// = (f²+f²)/(2f)² = 1/2. Check with f=3.
+	if got := MomentRatio([]int{3, 3}); math.Abs(got-0.5) > 1e-12 {
+		t.Errorf("MomentRatio = %v, want 0.5", got)
+	}
+	// Single element: ratio 1.
+	if got := MomentRatio([]int{7}); got != 1 {
+		t.Errorf("MomentRatio single = %v, want 1", got)
+	}
+	if got := MomentRatio(nil); got != 0 {
+		t.Errorf("MomentRatio(nil) = %v, want 0", got)
+	}
+}
+
+func TestMomentRatioBounds(t *testing.T) {
+	// 1/n ≤ fn2 ≤ 1 for n positive frequencies.
+	f := func(raw []uint8) bool {
+		freqs := make([]int, 0, len(raw))
+		for _, r := range raw {
+			if r > 0 {
+				freqs = append(freqs, int(r))
+			}
+		}
+		if len(freqs) == 0 {
+			return true
+		}
+		r := MomentRatio(freqs)
+		return r >= 1/float64(len(freqs))-1e-12 && r <= 1+1e-12
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func BenchmarkSample(b *testing.B) {
+	d, _ := NewDist(1.2, 1, 100000)
+	rng := rand.New(rand.NewSource(1))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		d.Sample(rng)
+	}
+}

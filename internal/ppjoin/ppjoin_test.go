@@ -1,0 +1,273 @@
+package ppjoin
+
+import (
+	"math/rand"
+	"testing"
+
+	"gbkmv/internal/dataset"
+	"gbkmv/internal/freqset"
+	"gbkmv/internal/hash"
+)
+
+func seqRecord(lo, hi int) dataset.Record {
+	elems := make([]hash.Element, 0, hi-lo)
+	for i := lo; i < hi; i++ {
+		elems = append(elems, hash.Element(i))
+	}
+	return dataset.NewRecord(elems)
+}
+
+func testDataset(t *testing.T) *dataset.Dataset {
+	t.Helper()
+	cfg := dataset.SyntheticConfig{
+		NumRecords: 300, Universe: 3000,
+		AlphaFreq: 1.1, AlphaSize: 2.0,
+		MinSize: 10, MaxSize: 150,
+	}
+	d, err := dataset.Synthetic(cfg, 33)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return d
+}
+
+// bruteForce is the reference answer.
+func bruteForce(d *dataset.Dataset, q dataset.Record, tstar float64) []int {
+	out := []int{}
+	for i, x := range d.Records {
+		if q.Containment(x) >= tstar {
+			out = append(out, i)
+		}
+	}
+	return out
+}
+
+func sameInts(a, b []int) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func TestBuildValidation(t *testing.T) {
+	if _, err := Build(nil); err == nil {
+		t.Error("nil dataset accepted")
+	}
+	if _, err := Build(&dataset.Dataset{}); err == nil {
+		t.Error("empty dataset accepted")
+	}
+}
+
+func TestOverlapThreshold(t *testing.T) {
+	cases := []struct {
+		q    int
+		t    float64
+		want int
+	}{
+		{10, 0.5, 5},
+		{10, 0.55, 6},
+		{10, 0.0, 0},
+		{10, 1.0, 10},
+		{3, 0.1, 1},
+		{7, 0.5, 4}, // ceil(3.5)
+	}
+	for _, c := range cases {
+		if got := OverlapThreshold(c.q, c.t); got != c.want {
+			t.Errorf("OverlapThreshold(%d, %v) = %d, want %d", c.q, c.t, got, c.want)
+		}
+	}
+}
+
+func TestSearchMatchesBruteForce(t *testing.T) {
+	d := testDataset(t)
+	ix, err := Build(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, tstar := range []float64{0.1, 0.3, 0.5, 0.7, 0.9, 1.0} {
+		for _, q := range d.SampleQueries(20, 11) {
+			got := ix.Search(q, tstar)
+			want := bruteForce(d, q, tstar)
+			if !sameInts(got, want) {
+				t.Fatalf("t*=%v: got %d results, want %d\n got=%v\nwant=%v",
+					tstar, len(got), len(want), got, want)
+			}
+		}
+	}
+}
+
+func TestSearchMatchesFreqSet(t *testing.T) {
+	// Two independent exact implementations must agree everywhere.
+	d := testDataset(t)
+	pp, err := Build(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fs, err := freqset.Build(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, tstar := range []float64{0.25, 0.5, 0.75} {
+		for _, q := range d.SampleQueries(15, 4) {
+			a := pp.Search(q, tstar)
+			b := fs.Search(q, tstar)
+			if !sameInts(a, b) {
+				t.Fatalf("t*=%v: ppjoin %v != freqset %v", tstar, a, b)
+			}
+		}
+	}
+}
+
+func TestSearchForeignQueryTokens(t *testing.T) {
+	d := testDataset(t)
+	ix, err := Build(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Query with a mix of known and unknown tokens.
+	q := dataset.NewRecord(append([]hash.Element{999999, 888888},
+		d.Records[0][:5]...))
+	got := ix.Search(q, 0.3)
+	want := bruteForce(d, q, 0.3)
+	if !sameInts(got, want) {
+		t.Errorf("foreign-token query: got %v, want %v", got, want)
+	}
+	// A fully foreign query matches nothing at t* > 0.
+	if res := ix.Search(seqRecord(500000, 500010), 0.1); len(res) != 0 {
+		t.Errorf("fully foreign query matched %v", res)
+	}
+}
+
+func TestSearchEdgeCases(t *testing.T) {
+	d := testDataset(t)
+	ix, err := Build(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := ix.Search(dataset.Record{}, 0.5); got != nil {
+		t.Errorf("empty query returned %v", got)
+	}
+	if got := ix.Search(d.Records[0], 0); len(got) != d.NumRecords() {
+		t.Errorf("t*=0 returned %d, want all %d", len(got), d.NumRecords())
+	}
+}
+
+func TestSearchExactSelfMatch(t *testing.T) {
+	d := testDataset(t)
+	ix, err := Build(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 20; i++ {
+		res := ix.Search(d.Records[i], 1.0)
+		found := false
+		for _, id := range res {
+			if id == i {
+				found = true
+			}
+		}
+		if !found {
+			t.Fatalf("record %d does not contain itself at t*=1", i)
+		}
+	}
+}
+
+func TestSearchSupersetQuery(t *testing.T) {
+	// Query strictly containing a record: C(Q, X) = |X|/|Q| exactly.
+	d := &dataset.Dataset{
+		Records: []dataset.Record{
+			seqRecord(0, 50),  // X0 ⊂ Q
+			seqRecord(0, 100), // X1 == Q
+			seqRecord(200, 300),
+		},
+		Universe: 300,
+	}
+	ix, err := Build(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	q := seqRecord(0, 100)
+	// C(Q,X0) = 50/100 = 0.5; C(Q,X1) = 1; C(Q,X2) = 0.
+	got := ix.Search(q, 0.5)
+	if !sameInts(got, []int{0, 1}) {
+		t.Errorf("got %v, want [0 1]", got)
+	}
+	got = ix.Search(q, 0.51)
+	if !sameInts(got, []int{1}) {
+		t.Errorf("got %v, want [1]", got)
+	}
+}
+
+func TestMergeCountEarlyTermination(t *testing.T) {
+	// mergeCount must return early (possibly undercounting) only when the
+	// bound proves `need` unreachable.
+	rank := map[hash.Element]int32{1: 0, 2: 1, 3: 2, 4: 3, 5: 4}
+	a := []hash.Element{1, 2, 3}
+	b := []hash.Element{1, 2, 3}
+	if got := mergeCount(a, b, rank, 3); got != 3 {
+		t.Errorf("full merge = %d, want 3", got)
+	}
+	// need=5 unreachable with 3 tokens: early exit returns < 5, and the
+	// caller's threshold test still fails, preserving correctness.
+	if got := mergeCount(a, b, rank, 5); got >= 5 {
+		t.Errorf("unreachable need produced %d", got)
+	}
+}
+
+func BenchmarkSearch(b *testing.B) {
+	cfg := dataset.SyntheticConfig{
+		NumRecords: 1000, Universe: 10000,
+		AlphaFreq: 1.1, AlphaSize: 2.0,
+		MinSize: 20, MaxSize: 300,
+	}
+	d, err := dataset.Synthetic(cfg, 5)
+	if err != nil {
+		b.Fatal(err)
+	}
+	ix, err := Build(d)
+	if err != nil {
+		b.Fatal(err)
+	}
+	q := d.Records[0]
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ix.Search(q, 0.5)
+	}
+}
+
+func TestSearchRandomizedAgainstBruteForce(t *testing.T) {
+	// Fully randomized records over a tiny universe (lots of duplicates and
+	// overlap) — stresses the prefix/positional/size filters far from the
+	// generator's regime.
+	rng := rand.New(rand.NewSource(99))
+	for trial := 0; trial < 15; trial++ {
+		m := 20 + rng.Intn(60)
+		uni := 10 + rng.Intn(90)
+		records := make([]dataset.Record, m)
+		for i := range records {
+			n := 1 + rng.Intn(uni)
+			elems := make([]hash.Element, n)
+			for j := range elems {
+				elems[j] = hash.Element(rng.Intn(uni))
+			}
+			records[i] = dataset.NewRecord(elems)
+		}
+		d := &dataset.Dataset{Records: records, Universe: uni}
+		ix, err := Build(d)
+		if err != nil {
+			t.Fatal(err)
+		}
+		tstar := rng.Float64()
+		q := records[rng.Intn(m)]
+		got := ix.Search(q, tstar)
+		want := bruteForce(d, q, tstar)
+		if !sameInts(got, want) {
+			t.Fatalf("trial %d t*=%v: got %v want %v", trial, tstar, got, want)
+		}
+	}
+}

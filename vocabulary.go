@@ -1,0 +1,108 @@
+package gbkmv
+
+import "sync"
+
+// Vocabulary maps string tokens (words, q-grams, column values, ...) to
+// dense element ids so that text-like data can be sketched. It is safe for
+// concurrent use.
+type Vocabulary struct {
+	mu   sync.RWMutex
+	ids  map[string]Element
+	toks []string
+}
+
+// NewVocabulary returns an empty vocabulary.
+func NewVocabulary() *Vocabulary {
+	return &Vocabulary{ids: make(map[string]Element)}
+}
+
+// ID returns the element id of the token, allocating a new id on first
+// sight.
+func (v *Vocabulary) ID(token string) Element {
+	v.mu.RLock()
+	id, ok := v.ids[token]
+	v.mu.RUnlock()
+	if ok {
+		return id
+	}
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	if id, ok = v.ids[token]; ok {
+		return id
+	}
+	id = Element(len(v.toks))
+	v.ids[token] = id
+	v.toks = append(v.toks, token)
+	return id
+}
+
+// Lookup returns the id of a token without allocating, and whether it was
+// known.
+func (v *Vocabulary) Lookup(token string) (Element, bool) {
+	v.mu.RLock()
+	defer v.mu.RUnlock()
+	id, ok := v.ids[token]
+	return id, ok
+}
+
+// Token returns the token of an id, or "" for an unknown id.
+func (v *Vocabulary) Token(id Element) string {
+	v.mu.RLock()
+	defer v.mu.RUnlock()
+	if int(id) >= len(v.toks) {
+		return ""
+	}
+	return v.toks[id]
+}
+
+// Len returns the number of distinct tokens seen.
+func (v *Vocabulary) Len() int {
+	v.mu.RLock()
+	defer v.mu.RUnlock()
+	return len(v.toks)
+}
+
+// Record converts tokens to a Record, allocating ids as needed.
+func (v *Vocabulary) Record(tokens []string) Record {
+	elems := make([]Element, len(tokens))
+	for i, t := range tokens {
+		elems[i] = v.ID(t)
+	}
+	return NewRecord(elems)
+}
+
+// Tokens converts a Record back to its tokens (unknown ids become "").
+func (v *Vocabulary) Tokens(r Record) []string {
+	out := make([]string, len(r))
+	for i, e := range r {
+		out[i] = v.Token(e)
+	}
+	return out
+}
+
+// Shingles splits s into its overlapping q-grams (byte-wise), the
+// set representation the paper uses for error-tolerant string matching
+// ("the vocabulary will blow up quickly when the higher-order shingles are
+// used"). Strings shorter than q yield a single shingle containing the
+// whole string; q must be positive.
+func Shingles(s string, q int) []string {
+	if q <= 0 {
+		panic("gbkmv: shingle size must be positive")
+	}
+	if len(s) <= q {
+		if s == "" {
+			return nil
+		}
+		return []string{s}
+	}
+	out := make([]string, 0, len(s)-q+1)
+	for i := 0; i+q <= len(s); i++ {
+		out = append(out, s[i:i+q])
+	}
+	return out
+}
+
+// ShingleRecord maps the q-grams of s into the vocabulary as a Record.
+func (v *Vocabulary) ShingleRecord(s string, q int) Record {
+	return v.Record(Shingles(s, q))
+}
