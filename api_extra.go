@@ -40,7 +40,7 @@ func Load(r io.Reader) (*Index, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &Index{inner: inner, records: inner.Records()}, nil
+	return &Index{inner: inner}, nil
 }
 
 // EstimateWithError returns the estimated containment C(Q, X_i) together

@@ -22,6 +22,7 @@ import (
 	"fmt"
 	"os"
 	"strings"
+	"unicode/utf8"
 
 	"gbkmv"
 	"gbkmv/internal/dataset"
@@ -85,19 +86,19 @@ func main() {
 	}
 
 	answer := func(qline string) {
-		q := voc.Record(strings.Fields(qline))
-		if len(q) == 0 {
-			fmt.Println("empty query")
+		q, err := ix.PrepareTokens(voc, strings.Fields(qline))
+		if err != nil {
+			fmt.Println(err)
 			return
 		}
-		hits := ix.Search(q, *tstar)
+		hits := q.Search(*tstar)
 		fmt.Printf("%d records with estimated C(Q, X) ≥ %.2f\n", len(hits), *tstar)
 		for i, id := range hits {
 			if i >= *maxShow {
 				fmt.Printf("... and %d more\n", len(hits)-*maxShow)
 				break
 			}
-			fmt.Printf("  #%-6d est=%.3f  %s\n", id, ix.Estimate(q, id), truncate(lines[id], 70))
+			fmt.Printf("  #%-6d est=%.3f  %s\n", id, q.Estimate(id), truncate(lines[id], 70))
 		}
 	}
 
@@ -115,11 +116,14 @@ func main() {
 	}
 }
 
+// truncate shortens s to at most n runes, never splitting a multi-byte
+// UTF-8 sequence.
 func truncate(s string, n int) string {
-	if len(s) <= n {
+	if utf8.RuneCountInString(s) <= n {
 		return s
 	}
-	return s[:n-3] + "..."
+	runes := []rune(s)
+	return string(runes[:n-3]) + "..."
 }
 
 func fatal(err error) {

@@ -1,0 +1,96 @@
+// Command gbkmvd serves containment similarity search over multiple named
+// GB-KMV collections through an HTTP JSON API.
+//
+// Collections are built from posted records or server-side files, searched
+// concurrently, extended with journaled dynamic inserts, and snapshotted to
+// the data directory — on demand, and on graceful shutdown. On startup every
+// collection found in the data directory is reloaded from its latest
+// snapshot with the insert journal replayed on top, so dynamic inserts
+// survive restarts.
+//
+// Usage:
+//
+//	gbkmvd -addr :7878 -data ./gbkmvd-data
+//
+// Quick start:
+//
+//	curl -X PUT localhost:7878/collections/demo \
+//	  -d '{"records": [["five","guys","burgers"], ["five","kitchen"]], "options": {"budget_units": 1000}}'
+//	curl localhost:7878/collections/demo/search -d '{"query": ["five","guys"], "threshold": 0.5}'
+//
+// See the Handler documentation in internal/server (and README.md) for the
+// full endpoint list.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"gbkmv/internal/server"
+)
+
+func main() {
+	var (
+		addr        = flag.String("addr", ":7878", "HTTP listen address")
+		dataDir     = flag.String("data", "./gbkmvd-data", "data directory for snapshots and journals; empty disables persistence")
+		recordFiles = flag.String("record-files", "", "directory server-side record files may be built from; empty disables file builds")
+		grace       = flag.Duration("grace", 10*time.Second, "graceful shutdown timeout")
+		readTimeout = flag.Duration("read-timeout", 5*time.Minute, "HTTP read timeout (bulk builds can be large)")
+	)
+	flag.Parse()
+
+	store, err := server.NewStore(*dataDir, log.Printf)
+	if err != nil {
+		log.Fatalf("gbkmvd: opening store: %v", err)
+	}
+	if *recordFiles != "" {
+		if err := store.SetRecordFileRoot(*recordFiles); err != nil {
+			log.Fatalf("gbkmvd: -record-files: %v", err)
+		}
+	}
+
+	srv := &http.Server{
+		Addr:        *addr,
+		Handler:     server.Handler(store),
+		ReadTimeout: *readTimeout,
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	errc := make(chan error, 1)
+	go func() {
+		if *dataDir == "" {
+			log.Printf("gbkmvd: persistence disabled (no -data directory)")
+		}
+		log.Printf("gbkmvd: listening on %s (data: %s, %d collections loaded)",
+			*addr, *dataDir, len(store.Names()))
+		errc <- srv.ListenAndServe()
+	}()
+
+	select {
+	case err := <-errc:
+		log.Fatalf("gbkmvd: %v", err)
+	case <-ctx.Done():
+	}
+
+	log.Printf("gbkmvd: shutting down")
+	shutdownCtx, cancel := context.WithTimeout(context.Background(), *grace)
+	defer cancel()
+	if err := srv.Shutdown(shutdownCtx); err != nil && !errors.Is(err, context.DeadlineExceeded) {
+		log.Printf("gbkmvd: shutdown: %v", err)
+	}
+	// Snapshot every collection with unsnapshotted inserts and close the
+	// journals, so a restart replays nothing it doesn't have to.
+	if err := store.Close(); err != nil {
+		log.Printf("gbkmvd: closing store: %v", err)
+	}
+	log.Printf("gbkmvd: bye")
+}

@@ -67,6 +67,12 @@ type Options struct {
 	// of element occurrences in the collection. Default 0.10 (the paper's
 	// default "SpaceUsed").
 	BudgetFraction float64
+	// BudgetUnits is the absolute sketch budget in signature units (one
+	// unit = one stored hash value = 32 buffer bits). When positive it
+	// overrides BudgetFraction; useful for long-lived indexes taking
+	// dynamic inserts, whose budget should not be tied to the initial data
+	// size.
+	BudgetUnits int
 	// BufferBits is the frequent-element buffer size r in bits per record:
 	// AutoBuffer (default) for cost-model selection, NoBuffer for none, or
 	// a positive bit count (rounded up to a byte multiple).
@@ -79,8 +85,7 @@ type Options struct {
 // Index is a GB-KMV sketch of a record collection supporting approximate
 // containment similarity search.
 type Index struct {
-	inner   *core.Index
-	records []Record
+	inner *core.Index
 }
 
 // Build constructs an Index over the records. The records slice is retained
@@ -110,13 +115,14 @@ func Build(records []Record, opt Options) (*Index, error) {
 	d := &dataset.Dataset{Records: records, Universe: universe}
 	inner, err := core.BuildIndex(d, core.Options{
 		BudgetFraction: opt.BudgetFraction,
+		BudgetUnits:    opt.BudgetUnits,
 		BufferBits:     buffer,
 		Seed:           opt.Seed,
 	})
 	if err != nil {
 		return nil, err
 	}
-	return &Index{inner: inner, records: records}, nil
+	return &Index{inner: inner}, nil
 }
 
 // Search returns the ids (positions in the build slice) of all records whose
@@ -147,13 +153,28 @@ func (ix *Index) EstimateAll(q Record) []float64 {
 // threshold shrinks as needed (Section IV-B, "Processing Dynamic Data"). It
 // returns the new record's id.
 func (ix *Index) Add(r Record) int {
-	ix.inner.AddRecord(r)
-	ix.records = append(ix.records, r)
-	return ix.inner.NumRecords() - 1
+	return ix.AddBatch([]Record{r})[0]
+}
+
+// AddBatch appends records as one batch, returning their ids in order. When
+// the batch overflows the space budget, the threshold shrink (a full
+// resketch) is paid once for the batch rather than once per record.
+func (ix *Index) AddBatch(recs []Record) []int {
+	base := ix.inner.NumRecords()
+	ix.inner.AddRecords(recs)
+	ids := make([]int, len(recs))
+	for i := range ids {
+		ids[i] = base + i
+	}
+	return ids
 }
 
 // Len returns the number of indexed records.
 func (ix *Index) Len() int { return ix.inner.NumRecords() }
+
+// Record returns the indexed record with id i. The returned slice is owned
+// by the index and must not be mutated.
+func (ix *Index) Record(i int) Record { return ix.inner.Records()[i] }
 
 // Stats describes the built sketch.
 type Stats struct {

@@ -1,0 +1,3 @@
+module gbkmv
+
+go 1.24

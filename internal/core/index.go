@@ -28,9 +28,10 @@ type Index struct {
 	buffers     []*bitmap.Bitmap     // H_X per record (nil when r == 0)
 	sketches    []*gkmv.Sketch       // L_X per record
 
-	tau        float64
-	bufferBits int // r
-	budget     int // in signature units
+	tau         float64
+	bufferBits  int // r
+	budget      int // in signature units
+	sketchUnits int // Σ sketch K(), maintained so UsedUnits is O(1)
 
 	// Inverted index for accelerated search: postings[e] lists the records
 	// whose G-KMV sketch contains element e.
@@ -134,6 +135,16 @@ func (ix *Index) sketchAll() {
 		}(lo, hi)
 	}
 	wg.Wait()
+	ix.recountUnits()
+}
+
+// recountUnits refreshes the cached sketch-unit total after a bulk rebuild.
+func (ix *Index) recountUnits() {
+	u := 0
+	for _, s := range ix.sketches {
+		u += s.K()
+	}
+	ix.sketchUnits = u
 }
 
 // bufferUnits is the budget charge of an r-bit buffer across m records
@@ -226,13 +237,11 @@ func (ix *Index) BufferElements() []hash.Element { return ix.bufferElems }
 func (ix *Index) BudgetUnits() int { return ix.budget }
 
 // UsedUnits returns the number of budget units actually consumed: one per
-// stored hash value plus r/32 per record.
+// stored hash value plus r/32 per record. O(1): the sketch total is
+// maintained incrementally, so the per-insert budget check does not scan
+// the collection.
 func (ix *Index) UsedUnits() int {
-	u := bufferUnits(len(ix.records), ix.bufferBits)
-	for _, s := range ix.sketches {
-		u += s.K()
-	}
-	return u
+	return bufferUnits(len(ix.records), ix.bufferBits) + ix.sketchUnits
 }
 
 // SizeBytes returns the in-memory footprint of the signatures (buffers +

@@ -122,21 +122,44 @@ func (ix *Index) SearchLinear(q dataset.Record, tstar float64) []int {
 // (never larger) threshold. The buffered element set E_H is kept fixed; a
 // full rebuild refreshes it.
 func (ix *Index) AddRecord(rec dataset.Record) {
-	ix.records = append(ix.records, rec)
-	buf, sk := ix.sketchRecord(rec)
-	ix.buffers = append(ix.buffers, buf)
-	ix.sketches = append(ix.sketches, sk)
+	ix.AddRecords([]dataset.Record{rec})
+}
 
-	if over := ix.UsedUnits() - ix.budget; over > 0 {
-		// shrinkThreshold rebuilds every sketch and all posting lists,
-		// including the new record's.
-		ix.shrinkThreshold(over)
+// AddRecords appends a batch of records, paying the over-budget threshold
+// shrink (a full resketch of the index) at most once for the whole batch
+// instead of once per record.
+func (ix *Index) AddRecords(recs []dataset.Record) {
+	if len(recs) == 0 {
+		// Never mutate on a no-op: a residual over-budget state (hash ties
+		// at the cut) must not trigger a shrink here, or an insert-free
+		// reload would answer differently than the index it saved.
 		return
 	}
+	base := len(ix.records)
+	for _, rec := range recs {
+		ix.records = append(ix.records, rec)
+		buf, sk := ix.sketchRecord(rec)
+		ix.buffers = append(ix.buffers, buf)
+		ix.sketches = append(ix.sketches, sk)
+		ix.sketchUnits += sk.K()
+	}
+	if over := ix.UsedUnits() - ix.budget; over > 0 {
+		// shrinkThreshold rebuilds every sketch and all posting lists,
+		// including the new records'. When nothing was evictable it leaves
+		// the index untouched and the new records still need postings.
+		if ix.shrinkThreshold(over) {
+			return
+		}
+	}
+	// Maintain the inverted lists incrementally.
+	for id := base; id < len(ix.records); id++ {
+		ix.addPostings(int32(id))
+	}
+}
 
-	// Under budget: maintain the inverted lists incrementally.
-	id := int32(len(ix.records) - 1)
-	for _, e := range rec {
+// addPostings extends the inverted lists with record id's signature.
+func (ix *Index) addPostings(id int32) {
+	for _, e := range ix.records[id] {
 		if _, buffered := ix.bitOf[e]; buffered {
 			continue
 		}
@@ -144,7 +167,7 @@ func (ix *Index) AddRecord(rec dataset.Record) {
 			ix.postings[e] = append(ix.postings[e], id)
 		}
 	}
-	if buf != nil {
+	if buf := ix.buffers[id]; buf != nil {
 		for _, bit := range buf.Ones() {
 			ix.bufferPostings[bit] = append(ix.bufferPostings[bit], id)
 		}
@@ -152,20 +175,41 @@ func (ix *Index) AddRecord(rec dataset.Record) {
 }
 
 // shrinkThreshold lowers τ just enough to evict `over` stored hash values,
-// then rebuilds sketches and postings under the new threshold.
-func (ix *Index) shrinkThreshold(over int) {
+// then rebuilds sketches and postings under the new threshold, reporting
+// whether a rebuild happened. It returns false — leaving the index exactly
+// as it was — when no hash values are stored at all: then the overshoot is
+// pure buffer cost (which grows with the record count and cannot shrink),
+// and the over-budget state is accepted rather than paying a full posting
+// rebuild per insert, or worse, panicking.
+func (ix *Index) shrinkThreshold(over int) bool {
 	// Collect all stored hash values; the new τ is the (total-over)-th
-	// smallest.
-	all := []float64{}
+	// smallest. sketchUnits is exactly the total, so allocate once.
+	all := make([]float64, 0, ix.sketchUnits)
 	for _, s := range ix.sketches {
 		all = append(all, s.Hashes()...)
+	}
+	if len(all) == 0 {
+		return false
 	}
 	keep := len(all) - over
 	if keep < 1 {
 		keep = 1
 	}
 	sort.Float64s(all)
-	ix.tau = all[keep-1]
+	// τ is a value threshold and identical elements share a hash, so a tie
+	// run at the cut stays whole: the index can settle slightly over
+	// budget. Crucially the new τ depends only on the stored multiset and
+	// keep — never on the insertion grouping — so batched and sequential
+	// inserts (and hence journal replay) converge on identical state. When
+	// the cut lands exactly on the current τ the "shrink" is a no-op;
+	// skip the full resketch rather than repeating it on every insert
+	// while the tie run holds the line.
+	cut := all[keep-1]
+	if cut == ix.tau {
+		return false
+	}
+	ix.tau = cut
 	ix.sketchAll()
 	ix.buildPostings()
+	return true
 }

@@ -68,9 +68,7 @@ func Load(r io.Reader) (*Index, error) {
 	}
 	ix.buffers = make([]*bitmap.Bitmap, len(ix.records))
 	ix.sketches = make([]*gkmv.Sketch, len(ix.records))
-	for i, rec := range ix.records {
-		ix.buffers[i], ix.sketches[i] = ix.sketchRecord(rec)
-	}
+	ix.sketchAll()
 	ix.buildPostings()
 	return ix, nil
 }

@@ -19,10 +19,14 @@ type Scored struct {
 // estimate 0 are never returned, so fewer than k results are possible.
 func (ix *Index) SearchTopK(q dataset.Record, k int) []Scored {
 	if k <= 0 {
-		return nil
+		return nil // don't pay for the sketch
 	}
-	sig := ix.Sketch(q)
-	if sig.Size == 0 {
+	return ix.SearchTopKSig(ix.Sketch(q), k)
+}
+
+// SearchTopKSig is SearchTopK with a prebuilt query signature.
+func (ix *Index) SearchTopKSig(sig *QuerySig, k int) []Scored {
+	if k <= 0 || sig.Size == 0 {
 		return nil
 	}
 	// Candidate generation as in SearchSig with θ → 0⁺: any record sharing

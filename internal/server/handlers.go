@@ -1,0 +1,309 @@
+package server
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"os"
+
+	"gbkmv"
+)
+
+// maxBodyBytes bounds request bodies (bulk builds included).
+const maxBodyBytes = 256 << 20
+
+// Handler serves the gbkmvd HTTP JSON API over a Store:
+//
+//	GET    /healthz                      liveness + collection count
+//	GET    /collections                  list collection names
+//	PUT    /collections/{name}           build (or replace) from records or a server-side file
+//	DELETE /collections/{name}           drop the collection and its on-disk state
+//	GET    /collections/{name}/stats     sketch configuration and footprint
+//	POST   /collections/{name}/records   dynamic insert (batched, journaled)
+//	POST   /collections/{name}/search    threshold containment search
+//	POST   /collections/{name}/topk      top-k containment search
+//	POST   /collections/{name}/snapshot  persist now, truncating the journal
+func Handler(s *Store) http.Handler {
+	h := &api{store: s}
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /healthz", h.health)
+	mux.HandleFunc("GET /collections", h.list)
+	mux.HandleFunc("PUT /collections/{name}", h.build)
+	mux.HandleFunc("DELETE /collections/{name}", h.delete)
+	mux.HandleFunc("GET /collections/{name}/stats", h.stats)
+	mux.HandleFunc("POST /collections/{name}/records", h.insert)
+	mux.HandleFunc("POST /collections/{name}/search", h.search)
+	mux.HandleFunc("POST /collections/{name}/topk", h.topk)
+	mux.HandleFunc("POST /collections/{name}/snapshot", h.snapshot)
+	return mux
+}
+
+type api struct {
+	store *Store
+}
+
+type errorResponse struct {
+	Error string `json:"error"`
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	json.NewEncoder(w).Encode(v)
+}
+
+func writeError(w http.ResponseWriter, status int, format string, args ...any) {
+	writeJSON(w, status, errorResponse{Error: fmt.Sprintf(format, args...)})
+}
+
+// decode reads the request body as JSON into v, enforcing maxBodyBytes.
+func decode(w http.ResponseWriter, r *http.Request, v any) bool {
+	body := http.MaxBytesReader(w, r.Body, maxBodyBytes)
+	dec := json.NewDecoder(body)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(v); err != nil {
+		writeError(w, http.StatusBadRequest, "invalid request body: %v", err)
+		return false
+	}
+	return true
+}
+
+// collection resolves the {name} path value, writing a 404 on miss.
+func (h *api) collection(w http.ResponseWriter, r *http.Request) (*Collection, bool) {
+	name := r.PathValue("name")
+	c, err := h.store.Get(name)
+	if err != nil {
+		writeError(w, http.StatusNotFound, "no collection %q", name)
+		return nil, false
+	}
+	return c, true
+}
+
+func (h *api) health(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]any{
+		"status":      "ok",
+		"collections": len(h.store.Names()),
+	})
+}
+
+func (h *api) list(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]any{"collections": h.store.Names()})
+}
+
+type buildOptions struct {
+	// BudgetFraction is the sketch budget as a fraction of the data size
+	// (default 0.10).
+	BudgetFraction float64 `json:"budget_fraction"`
+	// BudgetUnits is the absolute budget in signature units, overriding
+	// BudgetFraction when positive — the right knob for collections that
+	// grow by dynamic inserts.
+	BudgetUnits int `json:"budget_units"`
+	// BufferBits follows the library sentinels: 0 selects the buffer size
+	// with the cost model, -1 disables the buffer, positive values are bits.
+	BufferBits int    `json:"buffer_bits"`
+	Seed       uint64 `json:"seed"`
+}
+
+type buildRequest struct {
+	// Records are the collection's records as token arrays. Mutually
+	// exclusive with File.
+	Records [][]string `json:"records"`
+	// File names a server-side line-oriented record file (one record per
+	// line, whitespace-separated tokens). Only honored when the daemon was
+	// started with -record-files; paths resolve under (and must stay
+	// within) that directory.
+	File    string       `json:"file"`
+	Options buildOptions `json:"options"`
+}
+
+func (h *api) build(w http.ResponseWriter, r *http.Request) {
+	name := r.PathValue("name")
+	if !ValidName(name) {
+		writeError(w, http.StatusBadRequest, "invalid collection name %q", name)
+		return
+	}
+	var req buildRequest
+	if !decode(w, r, &req) {
+		return
+	}
+	if (len(req.Records) == 0) == (req.File == "") {
+		writeError(w, http.StatusBadRequest, "provide exactly one of records or file")
+		return
+	}
+	voc := gbkmv.NewVocabulary()
+	var records []gbkmv.Record
+	if req.File != "" {
+		path, err := h.store.ResolveRecordFile(req.File)
+		if err != nil {
+			writeError(w, http.StatusBadRequest, "record file: %v", err)
+			return
+		}
+		f, err := os.Open(path)
+		if err != nil {
+			writeError(w, http.StatusBadRequest, "opening record file: %v", err)
+			return
+		}
+		defer f.Close()
+		records, _, err = gbkmv.ReadRecords(f, voc)
+		if err != nil {
+			writeError(w, http.StatusBadRequest, "reading record file: %v", err)
+			return
+		}
+	} else {
+		records = make([]gbkmv.Record, len(req.Records))
+		for i, tokens := range req.Records {
+			records[i] = voc.Record(tokens)
+			if len(records[i]) == 0 {
+				writeError(w, http.StatusBadRequest, "record %d is empty", i)
+				return
+			}
+		}
+	}
+	if len(records) == 0 {
+		writeError(w, http.StatusBadRequest, "no records")
+		return
+	}
+	ix, err := gbkmv.Build(records, gbkmv.Options{
+		BudgetFraction: req.Options.BudgetFraction,
+		BudgetUnits:    req.Options.BudgetUnits,
+		BufferBits:     req.Options.BufferBits,
+		Seed:           req.Options.Seed,
+	})
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "building %q: %v", name, err)
+		return
+	}
+	c, err := h.store.Create(name, voc, ix)
+	if err != nil {
+		status := http.StatusInternalServerError
+		if errors.Is(err, ErrBadName) {
+			status = http.StatusBadRequest
+		}
+		writeError(w, status, "creating %q: %v", name, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, c.Stats())
+}
+
+func (h *api) delete(w http.ResponseWriter, r *http.Request) {
+	name := r.PathValue("name")
+	switch err := h.store.Delete(name); {
+	case errors.Is(err, ErrNotFound):
+		writeError(w, http.StatusNotFound, "no collection %q", name)
+	case err != nil:
+		writeError(w, http.StatusInternalServerError, "deleting %q: %v", name, err)
+	default:
+		writeJSON(w, http.StatusOK, map[string]any{"deleted": name})
+	}
+}
+
+func (h *api) stats(w http.ResponseWriter, r *http.Request) {
+	c, ok := h.collection(w, r)
+	if !ok {
+		return
+	}
+	writeJSON(w, http.StatusOK, c.Stats())
+}
+
+type insertRequest struct {
+	Records [][]string `json:"records"`
+}
+
+func (h *api) insert(w http.ResponseWriter, r *http.Request) {
+	c, ok := h.collection(w, r)
+	if !ok {
+		return
+	}
+	var req insertRequest
+	if !decode(w, r, &req) {
+		return
+	}
+	if len(req.Records) == 0 {
+		writeError(w, http.StatusBadRequest, "no records")
+		return
+	}
+	ids, err := c.Insert(req.Records)
+	if err != nil {
+		status := http.StatusBadRequest
+		if errors.Is(err, ErrStorage) {
+			status = http.StatusInternalServerError
+		}
+		writeError(w, status, "inserting: %v", err)
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"ids": ids})
+}
+
+type searchRequest struct {
+	Query     []string `json:"query"`
+	Threshold float64  `json:"threshold"`
+	// Limit caps the hits returned; 0 means all. The total qualifying count
+	// is always reported.
+	Limit int `json:"limit"`
+	// WithTokens includes each hit's record tokens in the response.
+	WithTokens bool `json:"with_tokens"`
+}
+
+func (h *api) search(w http.ResponseWriter, r *http.Request) {
+	c, ok := h.collection(w, r)
+	if !ok {
+		return
+	}
+	var req searchRequest
+	if !decode(w, r, &req) {
+		return
+	}
+	if req.Threshold < 0 || req.Threshold > 1 {
+		writeError(w, http.StatusBadRequest, "threshold must be in [0, 1]")
+		return
+	}
+	hits, total, err := c.Search(req.Query, req.Threshold, req.Limit, req.WithTokens)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "search: %v", err)
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"count": total, "hits": hits})
+}
+
+type topkRequest struct {
+	Query      []string `json:"query"`
+	K          int      `json:"k"`
+	WithTokens bool     `json:"with_tokens"`
+}
+
+func (h *api) topk(w http.ResponseWriter, r *http.Request) {
+	c, ok := h.collection(w, r)
+	if !ok {
+		return
+	}
+	var req topkRequest
+	if !decode(w, r, &req) {
+		return
+	}
+	if req.K <= 0 {
+		writeError(w, http.StatusBadRequest, "k must be positive")
+		return
+	}
+	hits, err := c.TopK(req.Query, req.K, req.WithTokens)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "topk: %v", err)
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"hits": hits})
+}
+
+func (h *api) snapshot(w http.ResponseWriter, r *http.Request) {
+	name := r.PathValue("name")
+	c, err := h.store.Snapshot(name)
+	switch {
+	case errors.Is(err, ErrNotFound):
+		writeError(w, http.StatusNotFound, "no collection %q", name)
+	case errors.Is(err, ErrNoPersistence):
+		writeError(w, http.StatusConflict, "store has no data directory")
+	case err != nil:
+		writeError(w, http.StatusInternalServerError, "snapshot: %v", err)
+	default:
+		writeJSON(w, http.StatusOK, c.Stats())
+	}
+}

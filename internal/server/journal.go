@@ -1,0 +1,210 @@
+// Package server implements gbkmvd, an HTTP daemon serving containment
+// similarity search over multiple named GB-KMV collections. A Store holds
+// the collections behind per-collection RW locks (searches run concurrently,
+// inserts are serialized), snapshots them to a data directory with the
+// library's Save/Load, and journals dynamic inserts to an append-only log so
+// they survive restarts without a full snapshot per insert.
+package server
+
+import (
+	"bufio"
+	"encoding/binary"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"os"
+)
+
+// The journal is a flat file of length-prefixed entries (the siser idiom:
+// frame first, payload format second), one per dynamically inserted record:
+//
+//	uint32 big-endian payload length
+//	uint32 big-endian IEEE CRC32 of the 4 length bytes
+//	uint32 big-endian IEEE CRC32 of the payload
+//	payload: JSON array of the record's tokens
+//
+// Framing makes replay trivially resumable: a torn tail write (crash mid
+// append) is detected by a short read or a payload-CRC mismatch on the
+// final entry, and recovery simply truncates the file back to the last
+// intact entry. The length has its own CRC so that a corrupted length field
+// — which would otherwise be indistinguishable from a torn tail and would
+// silently truncate every later entry — is a hard error instead.
+
+const journalMaxEntry = 64 << 20 // sanity bound on one entry's payload
+
+// errEntryTooLarge marks a record the journal refuses by policy — a client
+// mistake, not a storage failure.
+var errEntryTooLarge = errors.New("journal entry too large")
+
+// journalWriter appends entries to an open journal file.
+type journalWriter struct {
+	f   *os.File
+	buf *bufio.Writer
+	off int64 // logical size: file bytes plus buffered bytes
+}
+
+// openJournalWriter opens (creating if needed) the journal at path for
+// appending, truncating it first to validLen to drop any torn tail entry
+// found during replay.
+func openJournalWriter(path string, validLen int64) (*journalWriter, error) {
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_RDWR, 0o644)
+	if err != nil {
+		return nil, err
+	}
+	if err := f.Truncate(validLen); err != nil {
+		f.Close()
+		return nil, err
+	}
+	if _, err := f.Seek(0, io.SeekEnd); err != nil {
+		f.Close()
+		return nil, err
+	}
+	return &journalWriter{f: f, buf: bufio.NewWriter(f), off: validLen}, nil
+}
+
+// Append frames and buffers one record. Call Sync to make a batch durable.
+func (j *journalWriter) Append(tokens []string) error {
+	payload, err := json.Marshal(tokens)
+	if err != nil {
+		return err
+	}
+	if len(payload) > journalMaxEntry {
+		// Replay hard-errors on oversized entries; writing one would make
+		// the collection unloadable, so refuse the insert instead.
+		return fmt.Errorf("%w: record of %d bytes exceeds the limit (%d)", errEntryTooLarge, len(payload), journalMaxEntry)
+	}
+	var hdr [12]byte
+	binary.BigEndian.PutUint32(hdr[0:4], uint32(len(payload)))
+	binary.BigEndian.PutUint32(hdr[4:8], crc32.ChecksumIEEE(hdr[0:4]))
+	binary.BigEndian.PutUint32(hdr[8:12], crc32.ChecksumIEEE(payload))
+	if _, err := j.buf.Write(hdr[:]); err != nil {
+		return err
+	}
+	if _, err := j.buf.Write(payload); err != nil {
+		return err
+	}
+	j.off += int64(len(hdr)) + int64(len(payload))
+	return nil
+}
+
+// Offset returns the journal's logical size (including buffered entries);
+// pair with Rollback to undo a failed batch.
+func (j *journalWriter) Offset() int64 { return j.off }
+
+// Rollback discards unflushed entries and truncates the file back to off,
+// restoring the journal to the state Offset reported before a failed batch
+// so that on-disk entries never outrun the acknowledged index state.
+func (j *journalWriter) Rollback(off int64) error {
+	j.buf.Reset(j.f)
+	size, err := j.f.Seek(0, io.SeekEnd)
+	if err != nil {
+		return err
+	}
+	if size > off {
+		if err := j.f.Truncate(off); err != nil {
+			return err
+		}
+		if _, err := j.f.Seek(0, io.SeekEnd); err != nil {
+			return err
+		}
+	}
+	j.off = off
+	return nil
+}
+
+// Sync flushes buffered entries and fsyncs the file.
+func (j *journalWriter) Sync() error {
+	if err := j.buf.Flush(); err != nil {
+		return err
+	}
+	return j.f.Sync()
+}
+
+// Close flushes and closes the journal.
+func (j *journalWriter) Close() error {
+	flushErr := j.buf.Flush()
+	closeErr := j.f.Close()
+	if flushErr != nil {
+		return flushErr
+	}
+	return closeErr
+}
+
+// replayJournal reads every intact entry of the journal at path and returns
+// them together with the byte offset up to which the file is valid. A
+// missing file is an empty journal. A torn or corrupt tail entry ends the
+// replay at the last intact offset; corruption *before* the end of the file
+// (a bad CRC followed by more data) is reported as an error, since silently
+// dropping interior records would be data loss.
+func replayJournal(path string) (entries [][]string, validLen int64, err error) {
+	f, err := os.Open(path)
+	if errors.Is(err, os.ErrNotExist) {
+		return nil, 0, nil
+	}
+	if err != nil {
+		return nil, 0, err
+	}
+	defer f.Close()
+	size, err := f.Seek(0, io.SeekEnd)
+	if err != nil {
+		return nil, 0, err
+	}
+	if _, err := f.Seek(0, io.SeekStart); err != nil {
+		return nil, 0, err
+	}
+	r := bufio.NewReader(f)
+	var off int64
+	for {
+		var hdr [12]byte
+		if _, err := io.ReadFull(r, hdr[:]); err != nil {
+			switch err {
+			case io.EOF:
+				return entries, off, nil // clean end
+			case io.ErrUnexpectedEOF:
+				return entries, off, nil // torn header: truncate back
+			default:
+				// A transient read error (EIO, ...) is not a torn tail;
+				// truncating on it would delete acknowledged entries.
+				return nil, 0, fmt.Errorf("journal %s: reading header at offset %d: %v", path, off, err)
+			}
+		}
+		n := binary.BigEndian.Uint32(hdr[0:4])
+		hdrSum := binary.BigEndian.Uint32(hdr[4:8])
+		sum := binary.BigEndian.Uint32(hdr[8:12])
+		if crc32.ChecksumIEEE(hdr[0:4]) != hdrSum {
+			// A torn write produces a *short* header (caught above), never
+			// a complete one with a bad length checksum: this is
+			// corruption, and trusting the length would misread — or,
+			// worse, silently truncate — everything after it.
+			return nil, 0, fmt.Errorf("journal %s: corrupt entry header at offset %d", path, off)
+		}
+		if int64(n) > size-off-int64(len(hdr)) {
+			return entries, off, nil // length overruns the file: torn tail
+		}
+		if n > journalMaxEntry {
+			return nil, 0, fmt.Errorf("journal %s: entry at offset %d claims %d bytes", path, off, n)
+		}
+		payload := make([]byte, n)
+		if _, err := io.ReadFull(r, payload); err != nil {
+			if err == io.EOF || err == io.ErrUnexpectedEOF {
+				return entries, off, nil // torn payload: truncate back
+			}
+			return nil, 0, fmt.Errorf("journal %s: reading entry at offset %d: %v", path, off, err)
+		}
+		entryEnd := off + int64(len(hdr)) + int64(n)
+		if crc32.ChecksumIEEE(payload) != sum {
+			if entryEnd < size {
+				return nil, 0, fmt.Errorf("journal %s: corrupt entry at offset %d", path, off)
+			}
+			return entries, off, nil // corrupt tail: truncate back
+		}
+		var tokens []string
+		if err := json.Unmarshal(payload, &tokens); err != nil {
+			return nil, 0, fmt.Errorf("journal %s: entry at offset %d: %v", path, off, err)
+		}
+		entries = append(entries, tokens)
+		off = entryEnd
+	}
+}

@@ -1,0 +1,763 @@
+package server
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"log"
+	"os"
+	"path/filepath"
+	"regexp"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+
+	"gbkmv"
+)
+
+// Store errors surfaced to handlers.
+var (
+	ErrNotFound      = errors.New("server: no such collection")
+	ErrBadName       = errors.New("server: invalid collection name")
+	ErrNoPersistence = errors.New("server: store has no data directory")
+	// ErrStorage marks server-side disk failures (journal, snapshot), which
+	// handlers must report as 5xx, not as client errors.
+	ErrStorage = errors.New("server: storage failure")
+)
+
+var nameRE = regexp.MustCompile(`^[A-Za-z0-9][A-Za-z0-9_.-]{0,127}$`)
+
+// ValidName reports whether name is acceptable as a collection name (and
+// therefore as a directory name under the data directory: no separators, no
+// leading dot).
+func ValidName(name string) bool { return nameRE.MatchString(name) }
+
+// Store holds the named collections of a gbkmvd instance. The collections
+// map is guarded by mu; each collection guards its own index with a RWMutex
+// so searches on one collection run concurrently with builds on another.
+// Lifecycle operations (build, delete) are additionally serialized by opMu
+// so concurrent PUTs to the same name cannot interleave their disk writes.
+type Store struct {
+	dir      string // data directory; "" disables persistence
+	fileRoot string // root for server-side file builds; "" disables them
+	logf     func(format string, args ...any)
+
+	opMu sync.Mutex // serializes build/delete/snapshot/close (all disk mutation)
+	mu   sync.RWMutex
+	cols map[string]*Collection
+}
+
+// NewStore opens a store over the data directory, reloading every collection
+// previously snapshotted there (latest snapshot plus journal replay). An
+// empty dir yields a memory-only store. Collections that fail to load are
+// skipped with a logged warning rather than failing startup.
+func NewStore(dir string, logf func(format string, args ...any)) (*Store, error) {
+	if logf == nil {
+		logf = log.Printf
+	}
+	s := &Store{dir: dir, logf: logf, cols: make(map[string]*Collection)}
+	if dir == "" {
+		return s, nil
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, err
+	}
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	for _, e := range entries {
+		if !e.IsDir() {
+			continue
+		}
+		cdir := filepath.Join(dir, e.Name())
+		if _, err := os.Stat(filepath.Join(cdir, "meta.json")); err != nil {
+			continue // not a collection directory
+		}
+		c, err := loadCollection(cdir)
+		if err != nil {
+			s.logf("gbkmvd: skipping collection %q: %v", e.Name(), err)
+			continue
+		}
+		s.cols[c.name] = c
+		s.logf("gbkmvd: loaded collection %q: %d records (%d replayed from journal)",
+			c.name, c.ix.Len(), c.journaled)
+	}
+	return s, nil
+}
+
+// SetRecordFileRoot enables PUT builds from server-side files, restricted
+// to paths under root. Without it, file builds are rejected: an
+// unauthenticated API must not be allowed to read arbitrary server files.
+func (s *Store) SetRecordFileRoot(root string) error {
+	abs, err := filepath.Abs(root)
+	if err != nil {
+		return err
+	}
+	// Resolve the root itself so the containment check below compares
+	// like with like.
+	resolved, err := filepath.EvalSymlinks(abs)
+	if err != nil {
+		return err
+	}
+	s.fileRoot = resolved
+	return nil
+}
+
+// ResolveRecordFile validates a client-supplied record file path against
+// the configured root: relative paths resolve under it, and the result —
+// with every symlink resolved, so a link inside the root cannot point back
+// out — must not escape it.
+func (s *Store) ResolveRecordFile(path string) (string, error) {
+	if s.fileRoot == "" {
+		return "", errors.New("server-side file builds are disabled (start gbkmvd with -record-files)")
+	}
+	if !filepath.IsAbs(path) {
+		path = filepath.Join(s.fileRoot, path)
+	}
+	abs, err := filepath.Abs(path)
+	if err != nil {
+		return "", err
+	}
+	resolved, err := filepath.EvalSymlinks(abs)
+	if err != nil {
+		return "", fmt.Errorf("record file %q: %v", path, err)
+	}
+	if resolved != s.fileRoot && !strings.HasPrefix(resolved, s.fileRoot+string(filepath.Separator)) {
+		return "", fmt.Errorf("file %q is outside the record-files root", path)
+	}
+	return resolved, nil
+}
+
+// Get returns the named collection.
+func (s *Store) Get(name string) (*Collection, error) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	c, ok := s.cols[name]
+	if !ok {
+		return nil, ErrNotFound
+	}
+	return c, nil
+}
+
+// Names returns the collection names, sorted.
+func (s *Store) Names() []string {
+	s.mu.RLock()
+	names := make([]string, 0, len(s.cols))
+	for n := range s.cols {
+		names = append(names, n)
+	}
+	s.mu.RUnlock()
+	sort.Strings(names)
+	return names
+}
+
+// Create installs (or atomically replaces) the named collection around a
+// freshly built index and the vocabulary it was interned through,
+// snapshotting it immediately when the store is persistent so that
+// subsequent journaled inserts have a base to replay on.
+func (s *Store) Create(name string, voc *gbkmv.Vocabulary, ix *gbkmv.Index) (*Collection, error) {
+	if !nameRE.MatchString(name) {
+		return nil, ErrBadName
+	}
+	s.opMu.Lock()
+	defer s.opMu.Unlock()
+	s.mu.RLock()
+	old := s.cols[name]
+	s.mu.RUnlock()
+	if old != nil {
+		// Quiesce the collection being replaced *before* touching its
+		// files: once its journal is closed, a concurrent insert on it
+		// fails loudly instead of fsyncing an ack into a file the
+		// replacement is about to delete.
+		old.closeJournal()
+	}
+	c := &Collection{name: name, voc: voc, ix: ix}
+	if s.dir != "" {
+		c.dir = filepath.Join(s.dir, name)
+		// Chain generations past any state already on disk so the new
+		// snapshot's commit (the meta.json rename) atomically supersedes
+		// it. A meta.json that exists but cannot be read means the
+		// committed generation is unknown — abort rather than risk the
+		// failure path sweeping files the commit record still names.
+		switch m, err := readMeta(c.dir); {
+		case err == nil:
+			c.gen = m.Generation
+		case errors.Is(err, os.ErrNotExist):
+		default:
+			if old != nil {
+				if rerr := old.reopenJournal(); rerr != nil {
+					s.logf("gbkmvd: reopening journal of %q after aborted replace: %v", name, rerr)
+				}
+			}
+			return nil, fmt.Errorf("reading existing state of %q: %w", name, err)
+		}
+		committed := false
+		err := func() error {
+			if err := os.MkdirAll(c.dir, 0o755); err != nil {
+				return err
+			}
+			var err error
+			committed, err = c.snapshot()
+			return err
+		}()
+		if err != nil && !committed {
+			// The replacement never became visible; remove its aborted
+			// generation files (with no meta.json a fresh directory is
+			// never swept otherwise), and the old collection stays live,
+			// so give it its journal back or its inserts would 500
+			// forever.
+			sweepStaleGenerations(c.dir, c.gen)
+			if old != nil {
+				if rerr := old.reopenJournal(); rerr != nil {
+					s.logf("gbkmvd: reopening journal of %q after failed replace: %v", name, rerr)
+				}
+			}
+			return nil, err
+		}
+		if err != nil {
+			// Committed but the directory fsync failed: on disk the
+			// replacement is what a restart will load, so install it in
+			// memory too — reviving the old collection would journal
+			// acknowledged inserts into a generation replay never reads.
+			s.logf("gbkmvd: replacement of %q committed but not yet durable: %v", name, err)
+		}
+	}
+	s.mu.Lock()
+	s.cols[name] = c
+	s.mu.Unlock()
+	return c, nil
+}
+
+// Delete removes the named collection and its on-disk state.
+func (s *Store) Delete(name string) error {
+	s.opMu.Lock()
+	defer s.opMu.Unlock()
+	s.mu.Lock()
+	c, ok := s.cols[name]
+	delete(s.cols, name)
+	s.mu.Unlock()
+	if !ok {
+		return ErrNotFound
+	}
+	c.closeJournal()
+	if c.dir != "" {
+		return os.RemoveAll(c.dir)
+	}
+	return nil
+}
+
+// Snapshot persists the named collection's current state and truncates its
+// journal (the snapshot subsumes it). Like every disk-mutating operation it
+// runs under opMu, so it cannot interleave its writes with a concurrent
+// replacement build of the same name.
+func (s *Store) Snapshot(name string) (*Collection, error) {
+	s.opMu.Lock()
+	defer s.opMu.Unlock()
+	c, err := s.Get(name)
+	if err != nil {
+		return nil, err
+	}
+	if c.dir == "" {
+		return nil, ErrNoPersistence
+	}
+	c.ioMu.Lock()
+	defer c.ioMu.Unlock()
+	_, err = c.snapshot()
+	return c, err
+}
+
+// Close snapshots every collection with unsnapshotted inserts and closes all
+// journals. Used on graceful shutdown.
+func (s *Store) Close() error {
+	s.opMu.Lock()
+	defer s.opMu.Unlock()
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	var first error
+	for _, c := range s.cols {
+		c.ioMu.Lock()
+		c.mu.RLock()
+		needsSnapshot := c.dir != "" && c.journaled > 0
+		c.mu.RUnlock()
+		if needsSnapshot {
+			if _, err := c.snapshot(); err != nil && first == nil {
+				first = fmt.Errorf("snapshotting %q: %w", c.name, err)
+			}
+		}
+		c.closed = true
+		if c.journal != nil {
+			if err := c.journal.Close(); err != nil && first == nil {
+				first = err
+			}
+			c.journal = nil
+		}
+		c.ioMu.Unlock()
+	}
+	return first
+}
+
+// Collection is one named index behind two locks. mu is the index RWMutex:
+// searches take the read lock and run concurrently, mutations take the
+// write lock. ioMu serializes journal I/O (and, held across the journal
+// write *and* the index apply, keeps journal order identical to id
+// assignment order, which replay depends on) — so an insert's fsync never
+// blocks searches, only other inserts. Lock order: ioMu before mu.
+type Collection struct {
+	name string
+	dir  string // collection directory; "" when the store is memory-only
+
+	ioMu    sync.Mutex     // guards journal and closed
+	journal *journalWriter // inserts since the current snapshot; nil when dir == ""
+	closed  bool           // set when the collection is replaced, deleted or shut down
+
+	mu        sync.RWMutex
+	voc       *gbkmv.Vocabulary
+	ix        *gbkmv.Index
+	gen       uint64 // generation of the current on-disk snapshot
+	journaled int    // entries in the current journal
+}
+
+// Hit is one search result.
+type Hit struct {
+	ID       int      `json:"id"`
+	Estimate float64  `json:"estimate"`
+	Tokens   []string `json:"tokens,omitempty"`
+}
+
+// Name returns the collection name.
+func (c *Collection) Name() string { return c.name }
+
+// prepare converts query tokens through the vocabulary without allocating
+// ids, keeping the true |Q| (unknown tokens shrink containment, they don't
+// vanish). Caller must hold at least the read lock.
+func (c *Collection) prepare(tokens []string) (*gbkmv.Query, error) {
+	return c.ix.PrepareTokens(c.voc, tokens)
+}
+
+// Search returns records with estimated containment ≥ threshold, scored, in
+// ascending id order, together with the total number of qualifying records.
+// limit > 0 caps the hits that are scored and materialized — a threshold-0
+// query against a large collection must not pay O(N) estimates and token
+// slices for a page of 10. (Each returned hit is estimated once more than
+// strictly necessary; that duplication is bounded by limit, whereas scoring
+// inside the core search would be bounded only by the collection.)
+func (c *Collection) Search(tokens []string, threshold float64, limit int, withTokens bool) (hits []Hit, total int, err error) {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	q, err := c.prepare(tokens)
+	if err != nil {
+		return nil, 0, err
+	}
+	ids := q.Search(threshold)
+	total = len(ids)
+	if limit > 0 && len(ids) > limit {
+		ids = ids[:limit]
+	}
+	hits = make([]Hit, len(ids))
+	for i, id := range ids {
+		hits[i] = Hit{ID: id, Estimate: q.Estimate(id)}
+		if withTokens {
+			hits[i].Tokens = c.voc.Tokens(c.ix.Record(id))
+		}
+	}
+	return hits, total, nil
+}
+
+// TopK returns the k best records by estimated containment, best first.
+func (c *Collection) TopK(tokens []string, k int, withTokens bool) ([]Hit, error) {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	q, err := c.prepare(tokens)
+	if err != nil {
+		return nil, err
+	}
+	scored := q.TopK(k)
+	hits := make([]Hit, len(scored))
+	for i, s := range scored {
+		hits[i] = Hit{ID: s.ID, Estimate: s.Score}
+		if withTokens {
+			hits[i].Tokens = c.voc.Tokens(c.ix.Record(s.ID))
+		}
+	}
+	return hits, nil
+}
+
+// Insert adds a batch of records dynamically: journaled first (one fsync
+// per batch, under ioMu only, so searches keep running), then applied to
+// the index as one batch under the write lock. A journal failure rolls the
+// file back to the pre-batch offset, so entries on disk never outrun the
+// acknowledged index state. Returns the new record ids in batch order.
+func (c *Collection) Insert(batch [][]string) ([]int, error) {
+	c.ioMu.Lock()
+	defer c.ioMu.Unlock()
+	// Validate before touching the vocabulary or the journal: a rejected
+	// batch must leave no trace. (A record is empty iff it has no tokens —
+	// every token interns to an element.)
+	for i, tokens := range batch {
+		if len(tokens) == 0 {
+			return nil, fmt.Errorf("record %d is empty", i)
+		}
+	}
+	if c.closed || (c.dir != "" && c.journal == nil) {
+		// The collection was closed, deleted or replaced while this
+		// handler held it. Applying the batch would acknowledge records
+		// that exist nowhere a later reader looks.
+		return nil, fmt.Errorf("%w: collection %q is closed", ErrStorage, c.name)
+	}
+	if c.journal != nil {
+		pre := c.journal.Offset()
+		err := func() error {
+			for _, tokens := range batch {
+				if err := c.journal.Append(tokens); err != nil {
+					if errors.Is(err, errEntryTooLarge) {
+						return err // client mistake, not a storage failure
+					}
+					return fmt.Errorf("%w: journal append: %v", ErrStorage, err)
+				}
+			}
+			if err := c.journal.Sync(); err != nil {
+				return fmt.Errorf("%w: journal sync: %v", ErrStorage, err)
+			}
+			return nil
+		}()
+		if err != nil {
+			if rbErr := c.journal.Rollback(pre); rbErr != nil {
+				err = errors.Join(err, fmt.Errorf("journal rollback: %w", rbErr))
+			}
+			return nil, err
+		}
+	}
+	// Intern only after durability is settled, still under ioMu, so
+	// vocabulary id assignment happens exactly in journal order — replay
+	// re-interns entries in that order and reproduces every id. Interning
+	// earlier would let a failed batch leak ids the journal never records,
+	// shifting every later id out from under the replayed state.
+	recs := make([]gbkmv.Record, len(batch))
+	for i, tokens := range batch {
+		recs[i] = c.voc.Record(tokens)
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	ids := c.ix.AddBatch(recs)
+	if c.journal != nil {
+		c.journaled += len(batch)
+	}
+	return ids, nil
+}
+
+// CollStats reports a collection's sketch configuration, footprint and
+// persistence state.
+type CollStats struct {
+	Name             string  `json:"name"`
+	NumRecords       int     `json:"num_records"`
+	BufferBits       int     `json:"buffer_bits"`
+	Tau              float64 `json:"tau"`
+	BudgetUnits      int     `json:"budget_units"`
+	UsedUnits        int     `json:"used_units"`
+	SizeBytes        int     `json:"size_bytes"`
+	VocabSize        int     `json:"vocab_size"`
+	Persistent       bool    `json:"persistent"`
+	Generation       uint64  `json:"generation"`
+	JournaledInserts int     `json:"journaled_inserts"`
+}
+
+// Stats returns the collection's current statistics.
+func (c *Collection) Stats() CollStats {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	st := c.ix.Stats()
+	return CollStats{
+		Name:             c.name,
+		NumRecords:       st.NumRecords,
+		BufferBits:       st.BufferBits,
+		Tau:              st.Tau,
+		BudgetUnits:      st.BudgetUnits,
+		UsedUnits:        st.UsedUnits,
+		SizeBytes:        st.SizeBytes,
+		VocabSize:        c.voc.Len(),
+		Persistent:       c.dir != "",
+		Generation:       c.gen,
+		JournaledInserts: c.journaled,
+	}
+}
+
+func (c *Collection) closeJournal() {
+	c.ioMu.Lock()
+	defer c.ioMu.Unlock()
+	c.closed = true
+	if c.journal != nil {
+		c.journal.Close()
+		c.journal = nil
+	}
+}
+
+// reopenJournal resumes appending to the current generation's journal after
+// closeJournal, used when the operation that quiesced the collection fails
+// and the collection stays live. Caller holds opMu (so gen is stable).
+func (c *Collection) reopenJournal() error {
+	c.ioMu.Lock()
+	defer c.ioMu.Unlock()
+	if c.dir == "" {
+		c.closed = false
+		return nil
+	}
+	if c.journal != nil {
+		c.closed = false
+		return nil
+	}
+	path := journalPath(c.dir, c.gen)
+	fi, err := os.Stat(path)
+	if err != nil {
+		return err
+	}
+	jw, err := openJournalWriter(path, fi.Size())
+	if err != nil {
+		return err
+	}
+	c.journal = jw
+	c.closed = false
+	return nil
+}
+
+// meta is the per-collection commit record: a snapshot generation is live
+// iff meta.json names it. Writing meta.json (atomic rename) is the commit
+// point of a snapshot; every other file write may be torn by a crash and is
+// ignored unless its generation is committed.
+type meta struct {
+	Name       string    `json:"name"`
+	Generation uint64    `json:"generation"`
+	Records    int       `json:"records"`
+	SavedAt    time.Time `json:"saved_at"`
+}
+
+func metaPath(dir string) string { return filepath.Join(dir, "meta.json") }
+func indexPath(dir string, gen uint64) string {
+	return filepath.Join(dir, fmt.Sprintf("index-%d.snap", gen))
+}
+func vocabPath(dir string, gen uint64) string {
+	return filepath.Join(dir, fmt.Sprintf("vocab-%d.snap", gen))
+}
+func journalPath(dir string, gen uint64) string {
+	return filepath.Join(dir, fmt.Sprintf("journal-%d.log", gen))
+}
+
+func readMeta(dir string) (meta, error) {
+	var m meta
+	b, err := os.ReadFile(metaPath(dir))
+	if err != nil {
+		return m, err
+	}
+	if err := json.Unmarshal(b, &m); err != nil {
+		return m, fmt.Errorf("%s: %v", metaPath(dir), err)
+	}
+	return m, nil
+}
+
+func writeFileSync(path string, write func(w io.Writer) error) error {
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_TRUNC|os.O_WRONLY, 0o644)
+	if err != nil {
+		return err
+	}
+	if err := write(f); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// snapshot writes generation gen+1 (index, vocabulary, fresh journal),
+// commits it by atomically replacing meta.json, then swaps the live journal
+// and removes the previous generation's files. committed reports whether
+// the rename landed: a post-commit error (the directory fsync) leaves the
+// new generation visible on disk and the memory state already following
+// it, which callers must treat differently from a failed snapshot.
+//
+// Caller holds opMu and ioMu (or exclusively owns a not-yet-published
+// collection, as in Create): inserts are excluded for the whole duration by
+// ioMu, so only the read lock is needed while the index is encoded —
+// searches keep running through the expensive part, and the write lock is
+// taken just for the field swap.
+func (c *Collection) snapshot() (committed bool, err error) {
+	c.mu.RLock()
+	gen := c.gen + 1
+	err = func() error {
+		if err := writeFileSync(indexPath(c.dir, gen), c.ix.Save); err != nil {
+			return fmt.Errorf("writing index snapshot: %w", err)
+		}
+		if err := writeFileSync(vocabPath(c.dir, gen), c.voc.Save); err != nil {
+			return fmt.Errorf("writing vocabulary snapshot: %w", err)
+		}
+		return nil
+	}()
+	records := 0
+	if err == nil {
+		records = c.ix.Len()
+	}
+	c.mu.RUnlock()
+	if err != nil {
+		return false, err
+	}
+	jw, err := openJournalWriter(journalPath(c.dir, gen), 0)
+	if err != nil {
+		return false, fmt.Errorf("creating journal: %w", err)
+	}
+	m := meta{Name: c.name, Generation: gen, Records: records, SavedAt: time.Now().UTC()}
+	b, err := json.MarshalIndent(m, "", "  ")
+	if err != nil {
+		jw.Close()
+		return false, err
+	}
+	tmp := metaPath(c.dir) + ".tmp"
+	if err := writeFileSync(tmp, func(w io.Writer) error { _, err := w.Write(b); return err }); err != nil {
+		jw.Close()
+		return false, err
+	}
+	if err := os.Rename(tmp, metaPath(c.dir)); err != nil {
+		jw.Close()
+		return false, err
+	}
+	// The rename is the commit: once it lands, the visible disk state is
+	// generation gen, so memory must follow it even if what comes next
+	// fails — journaling into the superseded generation would fsync
+	// acknowledged inserts to a file replay never reads.
+	c.mu.Lock()
+	oldGen := c.gen
+	if c.journal != nil {
+		c.journal.Close()
+	}
+	c.journal = jw
+	c.gen = gen
+	c.journaled = 0
+	c.mu.Unlock()
+	// Make the commit durable before deleting the previous generation: a
+	// power loss must never persist the removals while losing the rename.
+	// On fsync failure, keep the old files and report the error.
+	if err := syncDir(c.dir); err != nil {
+		return true, fmt.Errorf("%w: syncing %s: %v", ErrStorage, c.dir, err)
+	}
+	if oldGen > 0 {
+		os.Remove(indexPath(c.dir, oldGen))
+		os.Remove(vocabPath(c.dir, oldGen))
+		os.Remove(journalPath(c.dir, oldGen))
+	}
+	return true, nil
+}
+
+// syncDir fsyncs a directory, making renames and removals inside it
+// durable.
+func syncDir(dir string) error {
+	d, err := os.Open(dir)
+	if err != nil {
+		return err
+	}
+	syncErr := d.Sync()
+	closeErr := d.Close()
+	if syncErr != nil {
+		return syncErr
+	}
+	return closeErr
+}
+
+// loadCollection restores a collection from its directory: the committed
+// snapshot, then every intact journal entry replayed on top (re-interning
+// tokens in insert order reproduces the original element ids exactly).
+func loadCollection(dir string) (*Collection, error) {
+	m, err := readMeta(dir)
+	if err != nil {
+		return nil, err
+	}
+	f, err := os.Open(indexPath(dir, m.Generation))
+	if err != nil {
+		return nil, err
+	}
+	ix, err := gbkmv.Load(f)
+	f.Close()
+	if err != nil {
+		return nil, err
+	}
+	f, err = os.Open(vocabPath(dir, m.Generation))
+	if err != nil {
+		return nil, err
+	}
+	voc, err := gbkmv.LoadVocabulary(f)
+	f.Close()
+	if err != nil {
+		return nil, err
+	}
+	entries, validLen, err := replayJournal(journalPath(dir, m.Generation))
+	if err != nil {
+		return nil, err
+	}
+	// Re-intern in entry order (reproducing the original ids), then apply
+	// as one batch so an over-budget threshold shrink costs one resketch
+	// per startup, not one per entry.
+	recs := make([]gbkmv.Record, len(entries))
+	for i, tokens := range entries {
+		recs[i] = voc.Record(tokens)
+	}
+	ix.AddBatch(recs)
+	jw, err := openJournalWriter(journalPath(dir, m.Generation), validLen)
+	if err != nil {
+		return nil, err
+	}
+	sweepStaleGenerations(dir, m.Generation)
+	return &Collection{
+		name:      m.Name,
+		dir:       dir,
+		voc:       voc,
+		ix:        ix,
+		gen:       m.Generation,
+		journal:   jw,
+		journaled: len(entries),
+	}, nil
+}
+
+// sweepStaleGenerations removes snapshot/journal files of any generation
+// other than the committed one — orphans left by a crash between a
+// snapshot's commit and its cleanup, or by an aborted snapshot attempt.
+func sweepStaleGenerations(dir string, keep uint64) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return
+	}
+	var gen uint64
+	for _, e := range entries {
+		name := e.Name()
+		switch {
+		case name == "meta.json":
+			continue
+		case strings.HasSuffix(name, ".tmp"):
+		case parseGen(name, "index-", ".snap", &gen),
+			parseGen(name, "vocab-", ".snap", &gen),
+			parseGen(name, "journal-", ".log", &gen):
+			if gen == keep {
+				continue
+			}
+		default:
+			continue // not ours
+		}
+		os.Remove(filepath.Join(dir, name))
+	}
+}
+
+// parseGen extracts the generation from a "<prefix><gen><suffix>" file name.
+func parseGen(name, prefix, suffix string, gen *uint64) bool {
+	if !strings.HasPrefix(name, prefix) || !strings.HasSuffix(name, suffix) {
+		return false
+	}
+	mid := name[len(prefix) : len(name)-len(suffix)]
+	g, err := strconv.ParseUint(mid, 10, 64)
+	if err != nil {
+		return false
+	}
+	*gen = g
+	return true
+}

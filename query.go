@@ -1,0 +1,99 @@
+package gbkmv
+
+import (
+	"errors"
+
+	"gbkmv/internal/core"
+)
+
+// Query is a prepared query signature. Preparing once and reusing it
+// amortizes the sketching cost over a search and any number of per-record
+// estimates, which is how a server answers "search, then score every hit"
+// without re-hashing the query.
+//
+// A Query tracks the index's global threshold: when records added after
+// Prepare shrink it (the fixed-budget eviction of Section IV-B), the
+// signature is transparently rebuilt before the next use, so results never
+// mix sketches from different thresholds. A Query is not safe for
+// concurrent use; prepare one per goroutine.
+type Query struct {
+	inner *core.Index
+	rec   Record
+	tau   float64
+	sig   *core.QuerySig
+}
+
+// Prepare builds the query signature under the index's threshold, seed and
+// buffer layout. The record is retained (and must not be mutated) so the
+// signature can follow threshold changes.
+func (ix *Index) Prepare(q Record) *Query {
+	return &Query{
+		inner: ix.inner,
+		rec:   q,
+		tau:   ix.inner.Tau(),
+		sig:   ix.inner.Sketch(q),
+	}
+}
+
+// PrepareTokens prepares a token query: tokens are converted through the
+// vocabulary without interning (so queries never grow it), and distinct
+// unknown tokens — which cannot match any record but still belong to Q —
+// are counted into the containment denominator |Q|. This is the one correct
+// way to query by tokens; hand-rolling it and forgetting the size override
+// silently inflates every estimate. An error is returned for an empty
+// query.
+func (ix *Index) PrepareTokens(voc *Vocabulary, tokens []string) (*Query, error) {
+	rec, unknown := voc.QueryRecord(tokens)
+	if len(rec)+unknown == 0 {
+		return nil, errors.New("gbkmv: empty query")
+	}
+	return ix.Prepare(rec).WithSize(len(rec) + unknown), nil
+}
+
+// current returns the signature, re-sketching if the index's threshold has
+// shrunk since it was built. The caller's size override survives the
+// rebuild.
+func (q *Query) current() *core.QuerySig {
+	if tau := q.inner.Tau(); tau != q.tau {
+		size := q.sig.Size
+		q.sig = q.inner.Sketch(q.rec)
+		q.sig.Size = size
+		q.tau = tau
+	}
+	return q.sig
+}
+
+// WithSize overrides the true query size |Q| and returns the query. Use it
+// when q had to omit elements that cannot appear in any indexed record
+// (e.g. query tokens unknown to the vocabulary): such elements still belong
+// to Q and shrink the containment C(Q, X) = |Q ∩ X| / |Q|.
+func (q *Query) WithSize(n int) *Query {
+	q.sig.Size = n
+	return q
+}
+
+// Size returns the query size |Q| in use.
+func (q *Query) Size() int { return q.sig.Size }
+
+// Search returns the ids of all records whose estimated containment
+// similarity is at least threshold, in ascending order.
+func (q *Query) Search(threshold float64) []int {
+	return q.inner.SearchSig(q.current(), threshold)
+}
+
+// TopK returns the k records with the highest estimated containment, best
+// first. Records with estimate 0 are never returned.
+func (q *Query) TopK(k int) []Scored {
+	return q.inner.SearchTopKSig(q.current(), k)
+}
+
+// Estimate returns the estimated containment C(Q, X_i).
+func (q *Query) Estimate(i int) float64 {
+	return q.inner.EstimateContainment(q.current(), i)
+}
+
+// EstimateWithError returns the containment estimate for record i together
+// with an approximate standard error (see Index.EstimateWithError).
+func (q *Query) EstimateWithError(i int) (est, stderr float64) {
+	return q.inner.EstimateWithError(q.current(), i)
+}

@@ -71,6 +71,30 @@ func (v *Vocabulary) Record(tokens []string) Record {
 	return NewRecord(elems)
 }
 
+// QueryRecord converts tokens to a Record using only tokens already in the
+// vocabulary, without allocating ids, and also reports the number of
+// distinct unknown tokens. Unknown tokens cannot appear in any indexed
+// record but still belong to the query set Q, so callers should search with
+// Index.Prepare(r).WithSize(len(r) + unknown) to keep the containment
+// denominator |Q| honest.
+func (v *Vocabulary) QueryRecord(tokens []string) (r Record, unknown int) {
+	elems := make([]Element, 0, len(tokens))
+	var misses map[string]struct{}
+	v.mu.RLock()
+	for _, t := range tokens {
+		if id, ok := v.ids[t]; ok {
+			elems = append(elems, id)
+			continue
+		}
+		if misses == nil {
+			misses = make(map[string]struct{})
+		}
+		misses[t] = struct{}{}
+	}
+	v.mu.RUnlock()
+	return NewRecord(elems), len(misses)
+}
+
 // Tokens converts a Record back to its tokens (unknown ids become "").
 func (v *Vocabulary) Tokens(r Record) []string {
 	out := make([]string, len(r))

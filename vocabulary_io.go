@@ -1,0 +1,46 @@
+package gbkmv
+
+import (
+	"encoding/gob"
+	"fmt"
+	"io"
+)
+
+// vocabWire is the gob-encoded form of a Vocabulary. Only the token table
+// is stored; the id map is rebuilt on load (ids are the table positions).
+type vocabWire struct {
+	Version int
+	Tokens  []string
+}
+
+const vocabWireVersion = 1
+
+// Save serializes the vocabulary. Ids are positional, so an index saved
+// together with the vocabulary it was built through round-trips exactly.
+func (v *Vocabulary) Save(w io.Writer) error {
+	v.mu.RLock()
+	defer v.mu.RUnlock()
+	return gob.NewEncoder(w).Encode(vocabWire{
+		Version: vocabWireVersion,
+		Tokens:  v.toks,
+	})
+}
+
+// LoadVocabulary reads a vocabulary written by Save.
+func LoadVocabulary(r io.Reader) (*Vocabulary, error) {
+	var w vocabWire
+	if err := gob.NewDecoder(r).Decode(&w); err != nil {
+		return nil, fmt.Errorf("gbkmv: decoding vocabulary: %v", err)
+	}
+	if w.Version != vocabWireVersion {
+		return nil, fmt.Errorf("gbkmv: unsupported vocabulary version %d", w.Version)
+	}
+	v := &Vocabulary{
+		ids:  make(map[string]Element, len(w.Tokens)),
+		toks: w.Tokens,
+	}
+	for i, t := range w.Tokens {
+		v.ids[t] = Element(i)
+	}
+	return v, nil
+}
