@@ -1,5 +1,7 @@
-// Command gbkmv builds a GB-KMV sketch over a line-oriented set file and
-// answers containment similarity queries against it.
+// Command gbkmv builds a containment-search sketch over a line-oriented set
+// file and answers containment similarity queries against it, with the
+// sketch backend selected by -engine (GB-KMV by default, or any registered
+// baseline: gkmv, kmv, minhash, lshforest, lshensemble, exact).
 //
 // Input format: one record per line, whitespace-separated tokens, e.g.
 //
@@ -9,6 +11,7 @@
 // Usage:
 //
 //	gbkmv -data records.txt -query "five guys" -t 0.5
+//	gbkmv -data records.txt -engine lshensemble -query "five guys" -t 0.5
 //	gbkmv -data records.txt -interactive
 //	gbkmv -data records.txt -stats
 //
@@ -31,6 +34,7 @@ import (
 func main() {
 	var (
 		dataPath    = flag.String("data", "", "path to a line-oriented record file")
+		engine      = flag.String("engine", gbkmv.DefaultEngine, "sketch engine (one of: "+strings.Join(gbkmv.Engines(), ", ")+")")
 		query       = flag.String("query", "", "whitespace-separated query tokens")
 		tstar       = flag.Float64("t", 0.5, "containment similarity threshold")
 		budget      = flag.Float64("budget", 0.10, "sketch budget as a fraction of data size")
@@ -74,19 +78,30 @@ func main() {
 		fatal(fmt.Errorf("no records loaded"))
 	}
 
-	ix, err := gbkmv.Build(records, gbkmv.Options{BudgetFraction: *budget, Seed: *seed})
+	eng, err := gbkmv.NewEngine(*engine, records, gbkmv.EngineOptions{
+		BudgetFraction: *budget,
+		Seed:           *seed,
+	})
 	if err != nil {
 		fatal(err)
 	}
-	st := ix.Stats()
-	fmt.Printf("indexed %d records: buffer r=%d bits, τ=%.4f, %d/%d budget units, %d sketch bytes\n",
-		st.NumRecords, st.BufferBits, st.Tau, st.UsedUnits, st.BudgetUnits, st.SizeBytes)
+	st := eng.EngineStats()
+	fmt.Printf("indexed %d records with engine %s: %d/%d budget units, %d sketch bytes",
+		st.NumRecords, st.Engine, st.UsedUnits, st.BudgetUnits, st.SizeBytes)
+	switch {
+	case st.Tau > 0:
+		fmt.Printf(", buffer r=%d bits, τ=%.4f\n", st.BufferBits, st.Tau)
+	case st.NumHashes > 0:
+		fmt.Printf(", k=%d hashes\n", st.NumHashes)
+	default:
+		fmt.Println()
+	}
 	if *stats {
 		return
 	}
 
 	answer := func(qline string) {
-		q, err := ix.PrepareTokens(voc, strings.Fields(qline))
+		q, err := gbkmv.PrepareTokens(eng, voc, strings.Fields(qline))
 		if err != nil {
 			fmt.Println(err)
 			return

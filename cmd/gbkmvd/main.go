@@ -1,16 +1,19 @@
 // Command gbkmvd serves containment similarity search over multiple named
-// GB-KMV collections through an HTTP JSON API.
+// sketch collections through an HTTP JSON API.
 //
-// Collections are built from posted records or server-side files, searched
-// concurrently, extended with journaled dynamic inserts, and snapshotted to
-// the data directory — on demand, and on graceful shutdown. On startup every
-// collection found in the data directory is reloaded from its latest
-// snapshot with the insert journal replayed on top, so dynamic inserts
-// survive restarts.
+// Each collection is backed by a pluggable sketch engine — GB-KMV by
+// default, or any registered backend (gkmv, kmv, minhash, lshforest,
+// lshensemble, exact) named per build via options.engine or daemon-wide via
+// -engine. Collections are built from posted records or server-side files,
+// searched concurrently, extended with journaled dynamic inserts, and
+// snapshotted to the data directory — on demand, and on graceful shutdown.
+// On startup every collection found in the data directory is reloaded from
+// its latest snapshot (tagged with the engine that wrote it) with the insert
+// journal replayed on top, so dynamic inserts survive restarts.
 //
 // Usage:
 //
-//	gbkmvd -addr :7878 -data ./gbkmvd-data
+//	gbkmvd -addr :7878 -data ./gbkmvd-data [-engine lshensemble]
 //
 // Quick start:
 //
@@ -30,9 +33,11 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"strings"
 	"syscall"
 	"time"
 
+	"gbkmv"
 	"gbkmv/internal/server"
 )
 
@@ -40,6 +45,7 @@ func main() {
 	var (
 		addr        = flag.String("addr", ":7878", "HTTP listen address")
 		dataDir     = flag.String("data", "./gbkmvd-data", "data directory for snapshots and journals; empty disables persistence")
+		engine      = flag.String("engine", gbkmv.DefaultEngine, "default sketch engine for builds that name none (one of: "+strings.Join(gbkmv.Engines(), ", ")+")")
 		recordFiles = flag.String("record-files", "", "directory server-side record files may be built from; empty disables file builds")
 		grace       = flag.Duration("grace", 10*time.Second, "graceful shutdown timeout")
 		readTimeout = flag.Duration("read-timeout", 5*time.Minute, "HTTP read timeout (bulk builds can be large)")
@@ -49,6 +55,9 @@ func main() {
 	store, err := server.NewStore(*dataDir, log.Printf)
 	if err != nil {
 		log.Fatalf("gbkmvd: opening store: %v", err)
+	}
+	if err := store.SetDefaultEngine(*engine); err != nil {
+		log.Fatalf("gbkmvd: -engine: %v", err)
 	}
 	if *recordFiles != "" {
 		if err := store.SetRecordFileRoot(*recordFiles); err != nil {

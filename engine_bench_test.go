@@ -1,0 +1,76 @@
+package gbkmv_test
+
+import (
+	"testing"
+
+	"gbkmv"
+	"gbkmv/internal/dataset"
+)
+
+// Per-engine build and search benchmarks over one shared power-law corpus.
+// CI runs these with -benchmem and converts the output to BENCH_PR2.json
+// (cmd/benchreport), the start of the cross-engine perf trajectory.
+
+// benchEngines builds the benchmark corpus once per process.
+func benchEngineWorkload(b *testing.B) ([]gbkmv.Record, []gbkmv.Record) {
+	b.Helper()
+	d, err := dataset.Synthetic(dataset.SyntheticConfig{
+		NumRecords: 2000, Universe: 20000,
+		AlphaFreq: 1.1, AlphaSize: 2.5,
+		MinSize: 10, MaxSize: 200,
+	}, 42)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return d.Records, d.SampleQueries(64, 43)
+}
+
+var benchOpts = gbkmv.EngineOptions{BudgetFraction: 0.10, Seed: 42}
+
+// BenchmarkEngineBuild measures index construction per engine on a
+// 2000-record power-law corpus at the paper's default 10% budget.
+func BenchmarkEngineBuild(b *testing.B) {
+	records, _ := benchEngineWorkload(b)
+	for _, name := range gbkmv.Engines() {
+		b.Run(name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := gbkmv.NewEngine(name, records, benchOpts); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkEngineSearch measures one threshold search (t* = 0.5) per engine,
+// cycling through a fixed query sample.
+func BenchmarkEngineSearch(b *testing.B) {
+	records, queries := benchEngineWorkload(b)
+	for _, name := range gbkmv.Engines() {
+		e, err := gbkmv.NewEngine(name, records, benchOpts)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.Run(name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				e.Search(queries[i%len(queries)], 0.5)
+			}
+		})
+	}
+}
+
+// BenchmarkEngineTopK measures top-10 retrieval per engine.
+func BenchmarkEngineTopK(b *testing.B) {
+	records, queries := benchEngineWorkload(b)
+	for _, name := range gbkmv.Engines() {
+		e, err := gbkmv.NewEngine(name, records, benchOpts)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.Run(name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				e.SearchTopK(queries[i%len(queries)], 10)
+			}
+		})
+	}
+}

@@ -1,0 +1,170 @@
+package gbkmv
+
+import (
+	"encoding/gob"
+	"fmt"
+	"io"
+	"sort"
+)
+
+// The baseline engines share one mechanical skeleton: they retain the record
+// collection, derive all signature state deterministically from (records,
+// options), and answer Search/TopK/Estimate from a prepared per-query
+// signature. This file holds that skeleton so each adapter is only the
+// backend-specific sketching and estimation.
+
+// sigEngine is the internal contract a baseline adapter implements to get
+// Search/SearchTopK/Estimate/PrepareQuery for free via enginePrepared. The
+// sig value is the engine-specific prepared query signature and is treated
+// as immutable once built.
+type sigEngine interface {
+	Engine
+	prepareSig(q Record) any
+	searchSig(sig any, qSize int, threshold float64) []int
+	topkSig(sig any, qSize, k int) []Scored
+	estimateSig(sig any, qSize, i int) float64
+}
+
+// enginePrepared implements PreparedQuery for every sigEngine: the signature
+// is shared (immutable), only the size override is per-instance state, so
+// Clone is a struct copy.
+type enginePrepared struct {
+	e    sigEngine
+	sig  any
+	size int
+}
+
+func (p *enginePrepared) Search(threshold float64) []int {
+	return p.e.searchSig(p.sig, p.size, threshold)
+}
+func (p *enginePrepared) TopK(k int) []Scored { return p.e.topkSig(p.sig, p.size, k) }
+func (p *enginePrepared) Estimate(i int) float64 {
+	return p.e.estimateSig(p.sig, p.size, i)
+}
+func (p *enginePrepared) Size() int      { return p.size }
+func (p *enginePrepared) SetSize(n int)  { p.size = n }
+func (p *enginePrepared) Clone() PreparedQuery {
+	cp := *p
+	return &cp
+}
+
+// prepareOn builds the shared prepared query for a sigEngine.
+func prepareOn(e sigEngine, q Record) PreparedQuery {
+	return &enginePrepared{e: e, sig: e.prepareSig(q), size: len(q)}
+}
+
+// searchByEstimate scans all n records and returns those whose estimate
+// reaches threshold·|Q| semantics, i.e. estimate ≥ threshold, ascending.
+func searchByEstimate(n int, threshold float64, est func(i int) float64) []int {
+	out := []int{}
+	for i := 0; i < n; i++ {
+		if est(i) >= threshold {
+			out = append(out, i)
+		}
+	}
+	return out
+}
+
+// topkByEstimate scores the given candidate ids (all n records when cands is
+// nil), drops zero estimates, and returns the k best, best first with ties
+// broken by ascending id.
+func topkByEstimate(n, k int, cands []int, est func(i int) float64) []Scored {
+	if k <= 0 {
+		return nil
+	}
+	scored := make([]Scored, 0, k)
+	score := func(i int) {
+		if s := est(i); s > 0 {
+			scored = append(scored, Scored{ID: i, Score: s})
+		}
+	}
+	if cands == nil {
+		for i := 0; i < n; i++ {
+			score(i)
+		}
+	} else {
+		for _, i := range cands {
+			score(i)
+		}
+	}
+	sort.Slice(scored, func(a, b int) bool {
+		if scored[a].Score != scored[b].Score {
+			return scored[a].Score > scored[b].Score
+		}
+		return scored[a].ID < scored[b].ID
+	})
+	if len(scored) > k {
+		scored = scored[:k]
+	}
+	return scored
+}
+
+// clamp01 clamps a containment estimate into [0, 1].
+func clamp01(c float64) float64 {
+	if c < 0 {
+		return 0
+	}
+	if c > 1 {
+		return 1
+	}
+	return c
+}
+
+// maxUniverse returns one past the largest element id, the Universe value
+// the internal dataset type expects.
+func maxUniverse(records []Record) int {
+	u := 0
+	for _, r := range records {
+		if len(r) > 0 {
+			if top := int(r[len(r)-1]) + 1; top > u {
+				u = top
+			}
+		}
+	}
+	return u
+}
+
+// totalElements counts element occurrences across the collection.
+func totalElements(records []Record) int {
+	n := 0
+	for _, r := range records {
+		n += len(r)
+	}
+	return n
+}
+
+// rebuildWire is the serialized payload of every rebuild-on-load engine:
+// like the core index (see DESIGN.md "Serialization"), signatures are
+// deterministic functions of (records, options, seed), so only those are
+// stored and the engine is rebuilt through its registered builder on load.
+type rebuildWire struct {
+	Version int
+	Opt     EngineOptions
+	Records []Record
+}
+
+const rebuildWireVersion = 1
+
+// saveRebuildable writes the (options, records) payload.
+func saveRebuildable(w io.Writer, opt EngineOptions, records []Record) error {
+	return gob.NewEncoder(w).Encode(rebuildWire{
+		Version: rebuildWireVersion,
+		Opt:     opt,
+		Records: records,
+	})
+}
+
+// rebuildLoader returns an EngineLoader that decodes the payload and rebuilds
+// the named engine through the registry.
+func rebuildLoader(name string) EngineLoader {
+	return func(r io.Reader) (Engine, error) {
+		var wire rebuildWire
+		if err := gob.NewDecoder(r).Decode(&wire); err != nil {
+			return nil, fmt.Errorf("decoding %s payload: %v", name, err)
+		}
+		if wire.Version != rebuildWireVersion {
+			return nil, fmt.Errorf("unsupported %s payload version %d", name, wire.Version)
+		}
+		return NewEngine(name, wire.Records, wire.Opt)
+	}
+}

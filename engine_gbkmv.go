@@ -1,0 +1,50 @@
+package gbkmv
+
+import "io"
+
+// The flagship engine: the GB-KMV *Index itself. The Engine methods below
+// complement the existing concrete API (Build/Search/SearchTopK/Estimate/
+// Add/AddBatch/Len/Record/Save all predate the interface), so current
+// callers compile unchanged while the index plugs into the registry.
+
+func init() {
+	Register("gbkmv",
+		func(records []Record, opt EngineOptions) (Engine, error) {
+			return Build(records, opt.indexOptions())
+		},
+		func(r io.Reader) (Engine, error) { return Load(r) },
+	)
+}
+
+var _ Engine = (*Index)(nil)
+
+// EngineName returns "gbkmv": the index is the registry's flagship engine.
+func (ix *Index) EngineName() string { return "gbkmv" }
+
+// PrepareQuery implements Engine, wrapping Prepare's concrete *Query in the
+// engine-generic PreparedQuery contract.
+func (ix *Index) PrepareQuery(q Record) PreparedQuery {
+	return indexPrepared{ix.Prepare(q)}
+}
+
+// EngineStats implements Engine; it is Stats projected onto the
+// cross-engine shape.
+func (ix *Index) EngineStats() EngineStats {
+	st := ix.Stats()
+	return EngineStats{
+		Engine:      ix.EngineName(),
+		NumRecords:  st.NumRecords,
+		SizeBytes:   st.SizeBytes,
+		BudgetUnits: st.BudgetUnits,
+		UsedUnits:   st.UsedUnits,
+		BufferBits:  st.BufferBits,
+		Tau:         st.Tau,
+	}
+}
+
+// indexPrepared adapts *Query to PreparedQuery. Query.Clone returns the
+// concrete *Query (the ergonomic form for direct Index users), so the
+// interface's Clone needs this one-method wrapper.
+type indexPrepared struct{ *Query }
+
+func (p indexPrepared) Clone() PreparedQuery { return indexPrepared{p.Query.Clone()} }

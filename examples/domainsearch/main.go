@@ -65,21 +65,31 @@ func main() {
 	for i, c := range cols {
 		records[i] = c.values
 	}
-	ix, err := gbkmv.Build(records, gbkmv.Options{BudgetFraction: 0.15, Seed: 99})
-	if err != nil {
-		panic(err)
-	}
-	st := ix.Stats()
-	fmt.Printf("indexed %d columns (%d budget units, buffer r=%d)\n",
-		len(cols), st.UsedUnits, st.BufferBits)
 
 	// Query: a user uploads a column of country codes (a 60% sample) and
-	// asks which published columns can host a join with it.
+	// asks which published columns can host a join with it. The search runs
+	// on three interchangeable backends of the engine registry — the
+	// GB-KMV sketch, LSH Ensemble (the system this application comes from),
+	// and the exact index as ground truth — with no change to the query
+	// code, which is the point of the pluggable Engine API.
 	query := gbkmv.NewRecord(sample(rng, domains["countries"], 0.6))
-	fmt.Printf("\nquery column: %d country-code values, threshold 0.7\n", len(query))
-	for _, id := range ix.Search(query, 0.7) {
-		fmt.Printf("  %.2f  %-22s (%d values)\n",
-			ix.Estimate(query, id), cols[id].name, len(cols[id].values))
+	fmt.Printf("query column: %d country-code values, threshold 0.7\n", len(query))
+	for _, engine := range []string{"gbkmv", "lshensemble", "exact"} {
+		eng, err := gbkmv.NewEngine(engine, records, gbkmv.EngineOptions{
+			BudgetFraction: 0.15,
+			Seed:           99,
+		})
+		if err != nil {
+			panic(err)
+		}
+		st := eng.EngineStats()
+		fmt.Printf("\n[%s] %d columns indexed, %d KB of signatures\n",
+			st.Engine, st.NumRecords, st.SizeBytes/1024)
+		pq := eng.PrepareQuery(query)
+		for _, id := range pq.Search(0.7) {
+			fmt.Printf("  %.2f  %-22s (%d values)\n",
+				pq.Estimate(id), cols[id].name, len(cols[id].values))
+		}
 	}
 }
 

@@ -270,6 +270,15 @@ type QuerySig struct {
 	rest []hash.Element
 }
 
+// Clone returns a copy of the signature that can be mutated (Size override,
+// replacement after a threshold shrink) independently of the original. The
+// signature payload — buffer, sketch, rest — is immutable after Sketch and
+// is shared, so cloning is one small struct copy.
+func (sig *QuerySig) Clone() *QuerySig {
+	cp := *sig
+	return &cp
+}
+
 // Sketch builds the query signature under the index's threshold, seed and
 // buffer layout.
 func (ix *Index) Sketch(q dataset.Record) *QuerySig {

@@ -6,6 +6,8 @@ import (
 	"math"
 	"strings"
 	"testing"
+
+	"gbkmv"
 )
 
 func TestTable2RowsComplete(t *testing.T) {
@@ -150,7 +152,7 @@ func TestRegistryComplete(t *testing.T) {
 	want := []string{
 		"table2", "table3", "fig5", "fig6", "fig7-13", "fig14", "fig15",
 		"fig16", "fig17", "fig18", "fig19a", "fig19b",
-		"extra-baselines", "extra-analysis", "extra-scaling",
+		"engines", "extra-baselines", "extra-analysis", "extra-scaling",
 		"ablation-global-threshold", "ablation-buffer",
 		"ablation-partitioned-kmv", "ablation-indexed-search",
 		"ablation-cost-model",
@@ -165,6 +167,24 @@ func TestRegistryComplete(t *testing.T) {
 	for _, w := range want {
 		if !have[w] {
 			t.Errorf("registry missing %q", w)
+		}
+	}
+}
+
+func TestEnginesCompareThroughRegistry(t *testing.T) {
+	rows, err := EnginesCompare(io.Discard, Quick())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != len(gbkmv.Engines()) {
+		t.Fatalf("%d rows for %d registered engines", len(rows), len(gbkmv.Engines()))
+	}
+	for _, r := range rows {
+		if r.Engine == "exact" && (r.F1 != 1 || r.Precision != 1 || r.Recall != 1) {
+			t.Errorf("exact engine scored F1=%.3f P=%.3f R=%.3f, want all 1", r.F1, r.Precision, r.Recall)
+		}
+		if r.SizeBytes <= 0 {
+			t.Errorf("%s: SizeBytes = %d", r.Engine, r.SizeBytes)
 		}
 	}
 }

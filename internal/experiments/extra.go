@@ -49,11 +49,26 @@ func Baselines(w io.Writer, cfg Config) ([]BaselineRow, error) {
 		if err != nil {
 			return nil, err
 		}
-		ls, ensemble, err := buildLSHE(d, 256, uint64(cfg.Seed))
+		// The registry-backed systems dispatch through gbkmv.NewEngine, the
+		// same construction path the server and CLIs use. Parameters match
+		// the ad-hoc builds this replaced: budget fraction 0.10 for the KMV
+		// family, the 256-hash default for LSH-E.
+		kmvEng, err := buildRegistered("kmv", d, cfg)
 		if err != nil {
 			return nil, err
 		}
-		gb, err := buildGBKMV(d, 0.10, uint64(cfg.Seed))
+		lsheEng, err := buildRegistered("lshensemble", d, cfg)
+		if err != nil {
+			return nil, err
+		}
+		gbEng, err := buildRegistered("gbkmv", d, cfg)
+		if err != nil {
+			return nil, err
+		}
+		// LSH-E with exact candidate verification is not an engine (its
+		// verification step reads the raw records); build the ensemble
+		// directly for that one row.
+		_, ensemble, err := buildLSHE(d, 256, uint64(cfg.Seed))
 		if err != nil {
 			return nil, err
 		}
@@ -61,13 +76,13 @@ func Baselines(w io.Writer, cfg Config) ([]BaselineRow, error) {
 			name string
 			s    eval.Searcher
 		}{
-			{"KMV", buildKMVSearcher(d, 0.10, uint64(cfg.Seed))},
+			{"KMV", engineSearcher(kmvEng)},
 			{"AsymMH", eval.SearcherFunc(am.Query)},
-			{"LSH-E", ls},
+			{"LSH-E", engineSearcher(lsheEng)},
 			// LSH-E with exact candidate verification: the upper bound on
 			// what the LSH-E candidate sets could achieve.
 			{"LSH-E+V", eval.SearcherFunc(ensemble.QueryVerified)},
-			{"GB-KMV", eval.SearcherFunc(gb.Search)},
+			{"GB-KMV", engineSearcher(gbEng)},
 		}
 		for _, sys := range systems {
 			r := wl.run(sys.s)

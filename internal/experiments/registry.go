@@ -32,6 +32,7 @@ func Registry() map[string]Runner {
 		"fig18":                     wrap(Fig18),
 		"fig19a":                    wrap(Fig19a),
 		"fig19b":                    wrap(Fig19b),
+		"engines":                   wrap(EnginesCompare),
 		"extra-baselines":           wrap(Baselines),
 		"extra-analysis":            wrap(Analysis),
 		"extra-scaling":             wrap(Scaling),

@@ -221,8 +221,21 @@ func (e *Ensemble) OptimalParams(sStar float64) (b, r int) {
 // candidates directly (no verification step), which is why it favours
 // recall.
 func (e *Ensemble) Query(q dataset.Record, tstar float64) []int {
-	sig := e.gen.Sign(q)
-	qSize := len(q)
+	return e.QuerySized(q, len(q), tstar)
+}
+
+// QuerySized is Query with an explicit query set size |Q|, for callers whose
+// query had to omit elements that cannot appear in any indexed record (e.g.
+// tokens unknown to a vocabulary) — such elements still belong to Q and
+// shrink every containment.
+func (e *Ensemble) QuerySized(q dataset.Record, qSize int, tstar float64) []int {
+	return e.QuerySigSized(e.gen.Sign(q), qSize, tstar)
+}
+
+// QuerySigSized runs the partition probes from a precomputed signature (see
+// Sign), so a prepared query pays the signing cost once across any number of
+// probes.
+func (e *Ensemble) QuerySigSized(sig minhash.Signature, qSize int, tstar float64) []int {
 	if qSize == 0 {
 		return nil
 	}
@@ -258,6 +271,11 @@ func (e *Ensemble) QueryVerified(q dataset.Record, tstar float64) []int {
 	}
 	return out
 }
+
+// Sign computes the MinHash signature of a record under the ensemble's hash
+// family, for callers that estimate containment outside the forests (LSH-E's
+// forests store banded prefixes, not full signatures).
+func (e *Ensemble) Sign(r dataset.Record) minhash.Signature { return e.gen.Sign(r) }
 
 // NumPartitions returns the number of partitions actually built.
 func (e *Ensemble) NumPartitions() int { return len(e.partitions) }

@@ -85,6 +85,20 @@ func Build(d *dataset.Dataset) (*Index, error) {
 // NumRecords returns the number of indexed records.
 func (ix *Index) NumRecords() int { return len(ix.ordered) }
 
+// SizeBytes approximates the in-memory footprint of the index structures:
+// the reordered token lists, the rank table and the positional postings.
+func (ix *Index) SizeBytes() int {
+	b := 0
+	for _, ord := range ix.ordered {
+		b += 8 * len(ord)
+	}
+	b += 12 * len(ix.rank) // element + rank per entry
+	for _, l := range ix.lists {
+		b += 8 * len(l) // id + pos per posting
+	}
+	return b
+}
+
 // OverlapThreshold returns c = ⌈t*·q⌉ (at least 1 for t* > 0), the overlap a
 // record must reach to satisfy the containment threshold.
 func OverlapThreshold(qSize int, tstar float64) int {

@@ -1,0 +1,248 @@
+package server
+
+import (
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"reflect"
+	"testing"
+)
+
+// buildWithEngine PUTs the restaurants corpus under the named engine.
+func buildWithEngine(t *testing.T, ts *httptest.Server, name, engine string) {
+	t.Helper()
+	body := fmt.Sprintf(`{
+		"records": [
+			["five", "guys", "burgers", "and", "fries"],
+			["five", "kitchen", "berkeley"],
+			["in", "n", "out", "burgers"]
+		],
+		"options": {"budget_units": 1000, "engine": %q}
+	}`, engine)
+	if code, m := doJSON(t, ts, "PUT", "/collections/"+name, body); code != http.StatusOK {
+		t.Fatalf("build %s (%s): %d %v", name, engine, code, m)
+	}
+}
+
+// engineSearch runs one search and returns the hit ids.
+func engineSearch(t *testing.T, ts *httptest.Server, name string) []any {
+	t.Helper()
+	code, m := doJSON(t, ts, "POST", "/collections/"+name+"/search",
+		`{"query": ["five", "guys"], "threshold": 0.5}`)
+	if code != http.StatusOK {
+		t.Fatalf("search %s: %d %v", name, code, m)
+	}
+	ids := []any{}
+	for _, h := range m["hits"].([]any) {
+		ids = append(ids, h.(map[string]any)["id"])
+	}
+	return ids
+}
+
+// TestEngineCollectionLifecycle is the acceptance path for non-default
+// engines: create, search, insert, snapshot, kill (no graceful close), and
+// reload — with the engine surviving in /stats and the post-restart search
+// results identical.
+func TestEngineCollectionLifecycle(t *testing.T) {
+	for _, engine := range []string{"exact", "kmv", "minhash", "lshensemble", "lshforest", "gkmv"} {
+		t.Run(engine, func(t *testing.T) {
+			dir := t.TempDir()
+			store, ts := newServer(t, dir)
+			buildWithEngine(t, ts, "rest", engine)
+
+			if _, m := doJSON(t, ts, "GET", "/collections/rest/stats", ""); m["engine"] != engine {
+				t.Fatalf("stats engine = %v, want %s", m["engine"], engine)
+			}
+			// Journaled insert, then an explicit snapshot, then another
+			// insert that only the journal knows about.
+			if code, m := doJSON(t, ts, "POST", "/collections/rest/records",
+				`{"records": [["five", "guys", "fries"]]}`); code != http.StatusOK {
+				t.Fatalf("insert: %d %v", code, m)
+			}
+			if code, m := doJSON(t, ts, "POST", "/collections/rest/snapshot", ""); code != http.StatusOK {
+				t.Fatalf("snapshot: %d %v", code, m)
+			}
+			if code, m := doJSON(t, ts, "POST", "/collections/rest/records",
+				`{"records": [["in", "n", "out"]]}`); code != http.StatusOK {
+				t.Fatalf("post-snapshot insert: %d %v", code, m)
+			}
+			want := engineSearch(t, ts, "rest")
+			ts.Close()
+			// Kill: no store.Close(), so the last insert lives only in the
+			// journal and must replay into the reloaded engine.
+			_ = store
+
+			store2, ts2 := newServer(t, dir)
+			defer store2.Close()
+			if _, m := doJSON(t, ts2, "GET", "/collections/rest/stats", ""); m["engine"] != engine {
+				t.Fatalf("engine after reload = %v, want %s", m["engine"], engine)
+			}
+			if m := statsOf(t, ts2, "rest"); m["num_records"] != float64(5) {
+				t.Fatalf("num_records after reload = %v, want 5", m["num_records"])
+			}
+			if got := engineSearch(t, ts2, "rest"); !reflect.DeepEqual(got, want) {
+				t.Fatalf("post-restart search:\n got  %v\n want %v", got, want)
+			}
+		})
+	}
+}
+
+func statsOf(t *testing.T, ts *httptest.Server, name string) map[string]any {
+	t.Helper()
+	code, m := doJSON(t, ts, "GET", "/collections/"+name+"/stats", "")
+	if code != http.StatusOK {
+		t.Fatalf("stats %s: %d %v", name, code, m)
+	}
+	return m
+}
+
+// TestBuildUnknownEngineRejected: a build naming an unregistered engine is a
+// client error, not a crash.
+func TestBuildUnknownEngineRejected(t *testing.T) {
+	_, ts := newServer(t, "")
+	code, m := doJSON(t, ts, "PUT", "/collections/x",
+		`{"records": [["a", "b"]], "options": {"engine": "nope"}}`)
+	if code != http.StatusBadRequest {
+		t.Fatalf("unknown engine: %d %v", code, m)
+	}
+}
+
+// TestStoreDefaultEngine: the daemon-level default applies when a build
+// names no engine, and bogus defaults are rejected up front.
+func TestStoreDefaultEngine(t *testing.T) {
+	store, ts := newServer(t, "")
+	if err := store.SetDefaultEngine("nope"); err == nil {
+		t.Fatal("bogus default engine accepted")
+	}
+	if err := store.SetDefaultEngine("exact"); err != nil {
+		t.Fatal(err)
+	}
+	buildRestaurants(t, ts, "rest")
+	if m := statsOf(t, ts, "rest"); m["engine"] != "exact" {
+		t.Fatalf("default engine not applied: %v", m["engine"])
+	}
+}
+
+// TestInsertDuplicateRequestID covers the WAL-ambiguity fix end to end: a
+// retry with the same request_id is rejected with 409 and the original ids —
+// through the in-memory window, through a journal-replay restart (the crash
+// case the feature exists for), and through a snapshot that truncates the
+// journal.
+func TestInsertDuplicateRequestID(t *testing.T) {
+	dir := t.TempDir()
+	_, ts := newServer(t, dir)
+	buildRestaurants(t, ts, "rest")
+
+	insert := `{"records": [["shake", "shack"]], "request_id": "req-1"}`
+	code, m := doJSON(t, ts, "POST", "/collections/rest/records", insert)
+	if code != http.StatusOK || fmt.Sprint(m["ids"]) != "[3]" {
+		t.Fatalf("first insert: %d %v", code, m)
+	}
+	// Immediate retry: rejected, original ids echoed.
+	code, m = doJSON(t, ts, "POST", "/collections/rest/records", insert)
+	if code != http.StatusConflict || m["duplicate"] != true || fmt.Sprint(m["ids"]) != "[3]" {
+		t.Fatalf("retry: %d %v", code, m)
+	}
+	// A different id is a different request.
+	code, m = doJSON(t, ts, "POST", "/collections/rest/records",
+		`{"records": [["katz", "deli"]], "request_id": "req-2"}`)
+	if code != http.StatusOK || fmt.Sprint(m["ids"]) != "[4]" {
+		t.Fatalf("second insert: %d %v", code, m)
+	}
+	ts.Close()
+
+	// Kill and restart: the window must rebuild from the replayed journal —
+	// this is exactly the crash-before-response scenario.
+	_, ts2 := newServer(t, dir)
+	code, m = doJSON(t, ts2, "POST", "/collections/rest/records", insert)
+	if code != http.StatusConflict || fmt.Sprint(m["ids"]) != "[3]" {
+		t.Fatalf("retry after replay: %d %v", code, m)
+	}
+	// Snapshot (truncates the journal), then retry again: the window must
+	// survive via the commit record.
+	if code, m := doJSON(t, ts2, "POST", "/collections/rest/snapshot", ""); code != http.StatusOK {
+		t.Fatalf("snapshot: %d %v", code, m)
+	}
+	code, m = doJSON(t, ts2, "POST", "/collections/rest/records", insert)
+	if code != http.StatusConflict || fmt.Sprint(m["ids"]) != "[3]" {
+		t.Fatalf("retry after snapshot: %d %v", code, m)
+	}
+	ts2.Close()
+
+	// And once more across a post-snapshot restart (window from meta alone).
+	_, ts3 := newServer(t, dir)
+	code, m = doJSON(t, ts3, "POST", "/collections/rest/records", insert)
+	if code != http.StatusConflict || fmt.Sprint(m["ids"]) != "[3]" {
+		t.Fatalf("retry after snapshot+restart: %d %v", code, m)
+	}
+	// Untagged inserts are never deduplicated.
+	for i := 0; i < 2; i++ {
+		if code, m := doJSON(t, ts3, "POST", "/collections/rest/records",
+			`{"records": [["same", "again"]]}`); code != http.StatusOK {
+			t.Fatalf("untagged insert %d: %d %v", i, code, m)
+		}
+	}
+}
+
+// TestInsertDuplicateRequestIDMemoryOnly: the window also works without
+// persistence (no journal, no meta — just the in-memory log).
+func TestInsertDuplicateRequestIDMemoryOnly(t *testing.T) {
+	_, ts := newServer(t, "")
+	buildRestaurants(t, ts, "rest")
+	insert := `{"records": [["shake", "shack"]], "request_id": "r"}`
+	if code, m := doJSON(t, ts, "POST", "/collections/rest/records", insert); code != http.StatusOK {
+		t.Fatalf("insert: %d %v", code, m)
+	}
+	if code, m := doJSON(t, ts, "POST", "/collections/rest/records", insert); code != http.StatusConflict {
+		t.Fatalf("retry: %d %v", code, m)
+	}
+}
+
+// TestRequestLogEviction: the window is bounded; the oldest id ages out.
+func TestRequestLogEviction(t *testing.T) {
+	l := newRequestLog()
+	for i := 0; i <= maxRememberedRequests; i++ {
+		l.add(fmt.Sprintf("r%d", i), i, 1)
+	}
+	if _, ok := l.get("r0"); ok {
+		t.Error("oldest request survived past the window")
+	}
+	if ids, ok := l.get(fmt.Sprintf("r%d", maxRememberedRequests)); !ok || ids[0] != maxRememberedRequests {
+		t.Error("newest request missing")
+	}
+	if len(l.ids) != maxRememberedRequests || len(l.order) != maxRememberedRequests {
+		t.Errorf("window size %d/%d, want %d", len(l.ids), len(l.order), maxRememberedRequests)
+	}
+}
+
+// TestLegacySnapshotLoads: a pre-engine snapshot (bare Index.Save bytes, no
+// engine header, no engine field in meta) still loads — as the gbkmv engine.
+func TestLegacySnapshotLoads(t *testing.T) {
+	dir := t.TempDir()
+	store, ts := newServer(t, dir)
+	buildRestaurants(t, ts, "rest")
+	c, err := store.Get("rest")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.eng.EngineName() != "gbkmv" {
+		t.Fatal("default engine is not gbkmv")
+	}
+	// Rewrite the committed snapshot in the legacy headerless format: for
+	// the gbkmv engine, Save's payload without the SaveEngine header is
+	// exactly what the pre-engine server wrote.
+	if err := writeFileSync(indexPath(c.dir, c.gen), c.eng.Save); err != nil {
+		t.Fatal(err)
+	}
+	want := engineSearch(t, ts, "rest")
+	ts.Close()
+	store.Close()
+	store2, ts2 := newServer(t, dir)
+	defer store2.Close()
+	if got := engineSearch(t, ts2, "rest"); !reflect.DeepEqual(got, want) {
+		t.Fatalf("legacy snapshot: got %v want %v", got, want)
+	}
+	if m := statsOf(t, ts2, "rest"); m["engine"] != "gbkmv" {
+		t.Fatalf("legacy snapshot engine = %v", m["engine"])
+	}
+}

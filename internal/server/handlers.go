@@ -92,6 +92,10 @@ func (h *api) list(w http.ResponseWriter, r *http.Request) {
 }
 
 type buildOptions struct {
+	// Engine selects the sketch backend by registry name (gbkmv, gkmv, kmv,
+	// minhash, lshforest, lshensemble, exact, ...). Empty uses the store's
+	// default (the daemon's -engine flag, "gbkmv" unless overridden).
+	Engine string `json:"engine"`
 	// BudgetFraction is the sketch budget as a fraction of the data size
 	// (default 0.10).
 	BudgetFraction float64 `json:"budget_fraction"`
@@ -103,6 +107,12 @@ type buildOptions struct {
 	// with the cost model, -1 disables the buffer, positive values are bits.
 	BufferBits int    `json:"buffer_bits"`
 	Seed       uint64 `json:"seed"`
+	// NumHashes is the MinHash-family signature length; 0 selects the
+	// backend default.
+	NumHashes int `json:"num_hashes"`
+	// NumPartitions is the LSH Ensemble partition count; 0 selects the
+	// default (32).
+	NumPartitions int `json:"num_partitions"`
 }
 
 type buildRequest struct {
@@ -164,17 +174,23 @@ func (h *api) build(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, "no records")
 		return
 	}
-	ix, err := gbkmv.Build(records, gbkmv.Options{
+	engine := req.Options.Engine
+	if engine == "" {
+		engine = h.store.DefaultEngine()
+	}
+	eng, err := gbkmv.NewEngine(engine, records, gbkmv.EngineOptions{
 		BudgetFraction: req.Options.BudgetFraction,
 		BudgetUnits:    req.Options.BudgetUnits,
 		BufferBits:     req.Options.BufferBits,
 		Seed:           req.Options.Seed,
+		NumHashes:      req.Options.NumHashes,
+		NumPartitions:  req.Options.NumPartitions,
 	})
 	if err != nil {
 		writeError(w, http.StatusBadRequest, "building %q: %v", name, err)
 		return
 	}
-	c, err := h.store.Create(name, voc, ix)
+	c, err := h.store.Create(name, voc, eng)
 	if err != nil {
 		status := http.StatusInternalServerError
 		if errors.Is(err, ErrBadName) {
@@ -208,6 +224,11 @@ func (h *api) stats(w http.ResponseWriter, r *http.Request) {
 
 type insertRequest struct {
 	Records [][]string `json:"records"`
+	// RequestID optionally tags the batch for duplicate detection: a retry
+	// carrying the same id — e.g. after a crash ate the acknowledgement of
+	// a journaled insert — is rejected with 409 Conflict and the originally
+	// assigned record ids, instead of silently duplicating the records.
+	RequestID string `json:"request_id"`
 }
 
 func (h *api) insert(w http.ResponseWriter, r *http.Request) {
@@ -223,8 +244,16 @@ func (h *api) insert(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, "no records")
 		return
 	}
-	ids, err := c.Insert(req.Records)
+	ids, err := c.Insert(req.Records, req.RequestID)
 	if err != nil {
+		if errors.Is(err, ErrDuplicateRequest) {
+			writeJSON(w, http.StatusConflict, map[string]any{
+				"error":     fmt.Sprintf("request %q was already applied", req.RequestID),
+				"duplicate": true,
+				"ids":       ids,
+			})
+			return
+		}
 		status := http.StatusBadRequest
 		if errors.Is(err, ErrStorage) {
 			status = http.StatusInternalServerError

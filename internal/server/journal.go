@@ -23,7 +23,8 @@ import (
 //	uint32 big-endian payload length
 //	uint32 big-endian IEEE CRC32 of the 4 length bytes
 //	uint32 big-endian IEEE CRC32 of the payload
-//	payload: JSON array of the record's tokens
+//	payload: JSON array of the record's tokens, or — when the insert carried
+//	         a client request id — a JSON object {"rid": ..., "tokens": [...]}
 //
 // Framing makes replay trivially resumable: a torn tail write (crash mid
 // append) is detected by a short read or a payload-CRC mismatch on the
@@ -31,6 +32,13 @@ import (
 // intact entry. The length has its own CRC so that a corrupted length field
 // — which would otherwise be indistinguishable from a torn tail and would
 // silently truncate every later entry — is a hard error instead.
+//
+// The request id is echoed into every frame of its batch so that replay can
+// rebuild the duplicate-detection window (see Collection.Insert): after the
+// WAL-ambiguity crash — journal fsynced, response lost — the client's retry
+// is recognized from the replayed frames and rejected instead of silently
+// doubling the records. Plain arrays keep id-less inserts (and all journals
+// written before request ids existed) byte-compatible.
 
 const journalMaxEntry = 64 << 20 // sanity bound on one entry's payload
 
@@ -64,9 +72,29 @@ func openJournalWriter(path string, validLen int64) (*journalWriter, error) {
 	return &journalWriter{f: f, buf: bufio.NewWriter(f), off: validLen}, nil
 }
 
-// Append frames and buffers one record. Call Sync to make a batch durable.
-func (j *journalWriter) Append(tokens []string) error {
-	payload, err := json.Marshal(tokens)
+// journalEntry is one replayed insert: its tokens and, when the insert
+// carried one, the client request id of its batch.
+type journalEntry struct {
+	Tokens    []string
+	RequestID string
+}
+
+// framedEntry is the object payload used when a request id must be echoed.
+type framedEntry struct {
+	RequestID string   `json:"rid"`
+	Tokens    []string `json:"tokens"`
+}
+
+// Append frames and buffers one record, echoing requestID (when non-empty)
+// into the frame. Call Sync to make a batch durable.
+func (j *journalWriter) Append(tokens []string, requestID string) error {
+	var payload []byte
+	var err error
+	if requestID == "" {
+		payload, err = json.Marshal(tokens)
+	} else {
+		payload, err = json.Marshal(framedEntry{RequestID: requestID, Tokens: tokens})
+	}
 	if err != nil {
 		return err
 	}
@@ -132,13 +160,37 @@ func (j *journalWriter) Close() error {
 	return closeErr
 }
 
+// decodeEntry parses a frame payload: a bare token array (id-less inserts
+// and pre-request-id journals) or the {"rid", "tokens"} object form.
+func decodeEntry(payload []byte) (journalEntry, error) {
+	for _, c := range payload {
+		switch c {
+		case ' ', '\t', '\n', '\r':
+			continue
+		case '{':
+			var fe framedEntry
+			if err := json.Unmarshal(payload, &fe); err != nil {
+				return journalEntry{}, err
+			}
+			return journalEntry{Tokens: fe.Tokens, RequestID: fe.RequestID}, nil
+		default:
+			var tokens []string
+			if err := json.Unmarshal(payload, &tokens); err != nil {
+				return journalEntry{}, err
+			}
+			return journalEntry{Tokens: tokens}, nil
+		}
+	}
+	return journalEntry{}, errors.New("empty payload")
+}
+
 // replayJournal reads every intact entry of the journal at path and returns
 // them together with the byte offset up to which the file is valid. A
 // missing file is an empty journal. A torn or corrupt tail entry ends the
 // replay at the last intact offset; corruption *before* the end of the file
 // (a bad CRC followed by more data) is reported as an error, since silently
 // dropping interior records would be data loss.
-func replayJournal(path string) (entries [][]string, validLen int64, err error) {
+func replayJournal(path string) (entries []journalEntry, validLen int64, err error) {
 	f, err := os.Open(path)
 	if errors.Is(err, os.ErrNotExist) {
 		return nil, 0, nil
@@ -200,11 +252,11 @@ func replayJournal(path string) (entries [][]string, validLen int64, err error) 
 			}
 			return entries, off, nil // corrupt tail: truncate back
 		}
-		var tokens []string
-		if err := json.Unmarshal(payload, &tokens); err != nil {
+		entry, err := decodeEntry(payload)
+		if err != nil {
 			return nil, 0, fmt.Errorf("journal %s: entry at offset %d: %v", path, off, err)
 		}
-		entries = append(entries, tokens)
+		entries = append(entries, entry)
 		off = entryEnd
 	}
 }

@@ -16,13 +16,22 @@ func writeEntries(t *testing.T, path string, entries [][]string) {
 		t.Fatal(err)
 	}
 	for _, e := range entries {
-		if err := jw.Append(e); err != nil {
+		if err := jw.Append(e, ""); err != nil {
 			t.Fatal(err)
 		}
 	}
 	if err := jw.Close(); err != nil {
 		t.Fatal(err)
 	}
+}
+
+// tokensOf projects replayed entries onto their token arrays.
+func tokensOf(entries []journalEntry) [][]string {
+	out := make([][]string, len(entries))
+	for i, e := range entries {
+		out[i] = e.Tokens
+	}
+	return out
 }
 
 func TestJournalRoundTrip(t *testing.T) {
@@ -37,7 +46,7 @@ func TestJournalRoundTrip(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if !reflect.DeepEqual(got, want) {
+	if !reflect.DeepEqual(tokensOf(got), want) {
 		t.Fatalf("replay = %v, want %v", got, want)
 	}
 	fi, _ := os.Stat(path)
@@ -72,7 +81,7 @@ func TestJournalTornTail(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		if err := jw.Append([]string{"torn", "entry"}); err != nil {
+		if err := jw.Append([]string{"torn", "entry"}, ""); err != nil {
 			t.Fatal(err)
 		}
 		if err := jw.Close(); err != nil {
@@ -85,7 +94,7 @@ func TestJournalTornTail(t *testing.T) {
 		if err != nil {
 			t.Fatalf("cut %d: %v", cut, err)
 		}
-		if want := [][]string{{"a", "b"}, {"c"}}; !reflect.DeepEqual(entries, want) {
+		if want := [][]string{{"a", "b"}, {"c"}}; !reflect.DeepEqual(tokensOf(entries), want) {
 			t.Fatalf("cut %d: replay = %v, want %v", cut, entries, want)
 		}
 		if validLen != full || validLen != good+(full-good) {
@@ -96,7 +105,7 @@ func TestJournalTornTail(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		if err := jw.Append([]string{"recovered"}); err != nil {
+		if err := jw.Append([]string{"recovered"}, ""); err != nil {
 			t.Fatal(err)
 		}
 		if err := jw.Close(); err != nil {
@@ -106,7 +115,7 @@ func TestJournalTornTail(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		if want := [][]string{{"a", "b"}, {"c"}, {"recovered"}}; !reflect.DeepEqual(entries, want) {
+		if want := [][]string{{"a", "b"}, {"c"}, {"recovered"}}; !reflect.DeepEqual(tokensOf(entries), want) {
 			t.Fatalf("cut %d: after recovery = %v, want %v", cut, entries, want)
 		}
 	}
@@ -147,7 +156,7 @@ func TestJournalTailCorruption(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if want := [][]string{{"aaaa"}}; !reflect.DeepEqual(entries, want) {
+	if want := [][]string{{"aaaa"}}; !reflect.DeepEqual(tokensOf(entries), want) {
 		t.Fatalf("replay = %v, want %v", entries, want)
 	}
 }

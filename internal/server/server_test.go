@@ -485,7 +485,7 @@ func TestStaleHandleInsertRejected(t *testing.T) {
 		if err := store.Delete("rest"); err != nil {
 			t.Fatal(err)
 		}
-		if _, err := stale.Insert([][]string{{"lost", "forever"}}); err == nil {
+		if _, err := stale.Insert([][]string{{"lost", "forever"}}, ""); err == nil {
 			t.Fatalf("dir=%q: insert on deleted collection acknowledged", dir)
 		}
 		buildRestaurants(t, ts, "rest2")
@@ -494,7 +494,7 @@ func TestStaleHandleInsertRejected(t *testing.T) {
 			t.Fatal(err)
 		}
 		buildRestaurants(t, ts, "rest2") // replace
-		if _, err := stale.Insert([][]string{{"lost", "again"}}); err == nil {
+		if _, err := stale.Insert([][]string{{"lost", "again"}}, ""); err == nil {
 			t.Fatalf("dir=%q: insert on replaced collection acknowledged", dir)
 		}
 	}

@@ -26,6 +26,10 @@ var (
 	// ErrStorage marks server-side disk failures (journal, snapshot), which
 	// handlers must report as 5xx, not as client errors.
 	ErrStorage = errors.New("server: storage failure")
+	// ErrDuplicateRequest marks an insert whose request_id was already
+	// applied — the retry after the WAL-ambiguity window (see
+	// Collection.Insert). Handlers report it as 409 Conflict.
+	ErrDuplicateRequest = errors.New("server: duplicate insert request")
 )
 
 var nameRE = regexp.MustCompile(`^[A-Za-z0-9][A-Za-z0-9_.-]{0,127}$`)
@@ -41,9 +45,10 @@ func ValidName(name string) bool { return nameRE.MatchString(name) }
 // Lifecycle operations (build, delete) are additionally serialized by opMu
 // so concurrent PUTs to the same name cannot interleave their disk writes.
 type Store struct {
-	dir      string // data directory; "" disables persistence
-	fileRoot string // root for server-side file builds; "" disables them
-	logf     func(format string, args ...any)
+	dir        string // data directory; "" disables persistence
+	fileRoot   string // root for server-side file builds; "" disables them
+	defaultEng string // engine used when a build names none
+	logf       func(format string, args ...any)
 
 	opMu sync.Mutex // serializes build/delete/snapshot/close (all disk mutation)
 	mu   sync.RWMutex
@@ -58,7 +63,7 @@ func NewStore(dir string, logf func(format string, args ...any)) (*Store, error)
 	if logf == nil {
 		logf = log.Printf
 	}
-	s := &Store{dir: dir, logf: logf, cols: make(map[string]*Collection)}
+	s := &Store{dir: dir, defaultEng: gbkmv.DefaultEngine, logf: logf, cols: make(map[string]*Collection)}
 	if dir == "" {
 		return s, nil
 	}
@@ -83,11 +88,29 @@ func NewStore(dir string, logf func(format string, args ...any)) (*Store, error)
 			continue
 		}
 		s.cols[c.name] = c
-		s.logf("gbkmvd: loaded collection %q: %d records (%d replayed from journal)",
-			c.name, c.ix.Len(), c.journaled)
+		s.logf("gbkmvd: loaded collection %q: engine %s, %d records (%d replayed from journal)",
+			c.name, c.eng.EngineName(), c.eng.Len(), c.journaled)
 	}
 	return s, nil
 }
+
+// SetDefaultEngine selects the engine used when a build request names none.
+// The name must be registered with the gbkmv engine registry.
+func (s *Store) SetDefaultEngine(name string) error {
+	if name == "" {
+		return nil
+	}
+	for _, n := range gbkmv.Engines() {
+		if n == name {
+			s.defaultEng = name
+			return nil
+		}
+	}
+	return fmt.Errorf("unknown engine %q (have: %v)", name, gbkmv.Engines())
+}
+
+// DefaultEngine returns the engine used when a build request names none.
+func (s *Store) DefaultEngine() string { return s.defaultEng }
 
 // SetRecordFileRoot enables PUT builds from server-side files, restricted
 // to paths under root. Without it, file builds are rejected: an
@@ -156,10 +179,10 @@ func (s *Store) Names() []string {
 }
 
 // Create installs (or atomically replaces) the named collection around a
-// freshly built index and the vocabulary it was interned through,
+// freshly built engine and the vocabulary it was interned through,
 // snapshotting it immediately when the store is persistent so that
 // subsequent journaled inserts have a base to replay on.
-func (s *Store) Create(name string, voc *gbkmv.Vocabulary, ix *gbkmv.Index) (*Collection, error) {
+func (s *Store) Create(name string, voc *gbkmv.Vocabulary, eng gbkmv.Engine) (*Collection, error) {
 	if !nameRE.MatchString(name) {
 		return nil, ErrBadName
 	}
@@ -175,7 +198,7 @@ func (s *Store) Create(name string, voc *gbkmv.Vocabulary, ix *gbkmv.Index) (*Co
 		// replacement is about to delete.
 		old.closeJournal()
 	}
-	c := &Collection{name: name, voc: voc, ix: ix}
+	c := &Collection{name: name, voc: voc, eng: eng, requests: newRequestLog()}
 	if s.dir != "" {
 		c.dir = filepath.Join(s.dir, name)
 		// Chain generations past any state already on disk so the new
@@ -310,15 +333,71 @@ type Collection struct {
 	name string
 	dir  string // collection directory; "" when the store is memory-only
 
-	ioMu    sync.Mutex     // guards journal and closed
-	journal *journalWriter // inserts since the current snapshot; nil when dir == ""
-	closed  bool           // set when the collection is replaced, deleted or shut down
+	ioMu     sync.Mutex     // guards journal, closed and requests
+	journal  *journalWriter // inserts since the current snapshot; nil when dir == ""
+	closed   bool           // set when the collection is replaced, deleted or shut down
+	requests *requestLog    // recent insert request ids, for retry rejection
 
 	mu        sync.RWMutex
 	voc       *gbkmv.Vocabulary
-	ix        *gbkmv.Index
+	eng       gbkmv.Engine
 	gen       uint64 // generation of the current on-disk snapshot
 	journaled int    // entries in the current journal
+}
+
+// maxRememberedRequests bounds the duplicate-detection window: ids beyond it
+// age out oldest-first. The window exists for the WAL-ambiguity retry (which
+// arrives promptly), not as a general idempotency ledger.
+const maxRememberedRequests = 1024
+
+// requestLog remembers the record ids assigned to recent request-tagged
+// inserts, in arrival order. Batch ids are always consecutive (every
+// engine's AddBatch assigns them that way), so each request is one
+// (first, count) span — a tagged 100k-record batch costs two integers here
+// and in the meta.json commit record, not 100k. Guarded by the collection's
+// ioMu.
+type requestLog struct {
+	ids   map[string]idSpan
+	order []string
+}
+
+// idSpan is the consecutive id range one insert batch was assigned.
+type idSpan struct {
+	first, count int
+}
+
+func (s idSpan) materialize() []int {
+	ids := make([]int, s.count)
+	for i := range ids {
+		ids[i] = s.first + i
+	}
+	return ids
+}
+
+func newRequestLog() *requestLog {
+	return &requestLog{ids: make(map[string]idSpan)}
+}
+
+func (l *requestLog) get(rid string) ([]int, bool) {
+	s, ok := l.ids[rid]
+	if !ok {
+		return nil, false
+	}
+	return s.materialize(), true
+}
+
+func (l *requestLog) add(rid string, first, count int) {
+	if rid == "" {
+		return
+	}
+	if _, dup := l.ids[rid]; !dup {
+		l.order = append(l.order, rid)
+	}
+	l.ids[rid] = idSpan{first: first, count: count}
+	for len(l.order) > maxRememberedRequests {
+		delete(l.ids, l.order[0])
+		l.order = l.order[1:]
+	}
 }
 
 // Hit is one search result.
@@ -331,11 +410,18 @@ type Hit struct {
 // Name returns the collection name.
 func (c *Collection) Name() string { return c.name }
 
+// Engine returns the name of the engine backing the collection.
+func (c *Collection) Engine() string {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return c.eng.EngineName()
+}
+
 // prepare converts query tokens through the vocabulary without allocating
 // ids, keeping the true |Q| (unknown tokens shrink containment, they don't
 // vanish). Caller must hold at least the read lock.
-func (c *Collection) prepare(tokens []string) (*gbkmv.Query, error) {
-	return c.ix.PrepareTokens(c.voc, tokens)
+func (c *Collection) prepare(tokens []string) (gbkmv.PreparedQuery, error) {
+	return gbkmv.PrepareTokens(c.eng, c.voc, tokens)
 }
 
 // Search returns records with estimated containment ≥ threshold, scored, in
@@ -361,7 +447,7 @@ func (c *Collection) Search(tokens []string, threshold float64, limit int, withT
 	for i, id := range ids {
 		hits[i] = Hit{ID: id, Estimate: q.Estimate(id)}
 		if withTokens {
-			hits[i].Tokens = c.voc.Tokens(c.ix.Record(id))
+			hits[i].Tokens = c.voc.Tokens(c.eng.Record(id))
 		}
 	}
 	return hits, total, nil
@@ -380,7 +466,7 @@ func (c *Collection) TopK(tokens []string, k int, withTokens bool) ([]Hit, error
 	for i, s := range scored {
 		hits[i] = Hit{ID: s.ID, Estimate: s.Score}
 		if withTokens {
-			hits[i].Tokens = c.voc.Tokens(c.ix.Record(s.ID))
+			hits[i].Tokens = c.voc.Tokens(c.eng.Record(s.ID))
 		}
 	}
 	return hits, nil
@@ -391,7 +477,14 @@ func (c *Collection) TopK(tokens []string, k int, withTokens bool) ([]Hit, error
 // the index as one batch under the write lock. A journal failure rolls the
 // file back to the pre-batch offset, so entries on disk never outrun the
 // acknowledged index state. Returns the new record ids in batch order.
-func (c *Collection) Insert(batch [][]string) ([]int, error) {
+//
+// A non-empty requestID closes the WAL-ambiguity window: the id is echoed
+// into every journal frame of the batch and remembered (surviving both
+// snapshots, via the meta commit record, and restarts, via journal replay),
+// so a client retrying an insert whose acknowledgement was lost in a crash
+// gets ErrDuplicateRequest — with the originally assigned ids — instead of
+// silently duplicated records.
+func (c *Collection) Insert(batch [][]string, requestID string) ([]int, error) {
 	c.ioMu.Lock()
 	defer c.ioMu.Unlock()
 	// Validate before touching the vocabulary or the journal: a rejected
@@ -400,6 +493,11 @@ func (c *Collection) Insert(batch [][]string) ([]int, error) {
 	for i, tokens := range batch {
 		if len(tokens) == 0 {
 			return nil, fmt.Errorf("record %d is empty", i)
+		}
+	}
+	if requestID != "" {
+		if ids, seen := c.requests.get(requestID); seen {
+			return ids, ErrDuplicateRequest
 		}
 	}
 	if c.closed || (c.dir != "" && c.journal == nil) {
@@ -412,7 +510,7 @@ func (c *Collection) Insert(batch [][]string) ([]int, error) {
 		pre := c.journal.Offset()
 		err := func() error {
 			for _, tokens := range batch {
-				if err := c.journal.Append(tokens); err != nil {
+				if err := c.journal.Append(tokens, requestID); err != nil {
 					if errors.Is(err, errEntryTooLarge) {
 						return err // client mistake, not a storage failure
 					}
@@ -442,22 +540,26 @@ func (c *Collection) Insert(batch [][]string) ([]int, error) {
 	}
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	ids := c.ix.AddBatch(recs)
+	ids := c.eng.AddBatch(recs)
 	if c.journal != nil {
 		c.journaled += len(batch)
 	}
+	c.requests.add(requestID, ids[0], len(ids))
 	return ids, nil
 }
 
-// CollStats reports a collection's sketch configuration, footprint and
-// persistence state.
+// CollStats reports a collection's engine, sketch configuration, footprint
+// and persistence state. Engine-specific fields (buffer_bits, tau,
+// num_hashes, the budget pair) are zero where the backend has no such knob.
 type CollStats struct {
 	Name             string  `json:"name"`
+	Engine           string  `json:"engine"`
 	NumRecords       int     `json:"num_records"`
 	BufferBits       int     `json:"buffer_bits"`
 	Tau              float64 `json:"tau"`
 	BudgetUnits      int     `json:"budget_units"`
 	UsedUnits        int     `json:"used_units"`
+	NumHashes        int     `json:"num_hashes,omitempty"`
 	SizeBytes        int     `json:"size_bytes"`
 	VocabSize        int     `json:"vocab_size"`
 	Persistent       bool    `json:"persistent"`
@@ -469,14 +571,16 @@ type CollStats struct {
 func (c *Collection) Stats() CollStats {
 	c.mu.RLock()
 	defer c.mu.RUnlock()
-	st := c.ix.Stats()
+	st := c.eng.EngineStats()
 	return CollStats{
 		Name:             c.name,
+		Engine:           st.Engine,
 		NumRecords:       st.NumRecords,
 		BufferBits:       st.BufferBits,
 		Tau:              st.Tau,
 		BudgetUnits:      st.BudgetUnits,
 		UsedUnits:        st.UsedUnits,
+		NumHashes:        st.NumHashes,
 		SizeBytes:        st.SizeBytes,
 		VocabSize:        c.voc.Len(),
 		Persistent:       c.dir != "",
@@ -526,12 +630,26 @@ func (c *Collection) reopenJournal() error {
 // meta is the per-collection commit record: a snapshot generation is live
 // iff meta.json names it. Writing meta.json (atomic rename) is the commit
 // point of a snapshot; every other file write may be torn by a crash and is
-// ignored unless its generation is committed.
+// ignored unless its generation is committed. Engine records which backend
+// wrote the snapshot (informational — the snapshot itself is
+// self-describing via the gbkmv engine header); Requests persists the
+// duplicate-detection window across the journal truncation a snapshot
+// implies.
 type meta struct {
-	Name       string    `json:"name"`
-	Generation uint64    `json:"generation"`
-	Records    int       `json:"records"`
-	SavedAt    time.Time `json:"saved_at"`
+	Name       string         `json:"name"`
+	Engine     string         `json:"engine,omitempty"`
+	Generation uint64         `json:"generation"`
+	Records    int            `json:"records"`
+	SavedAt    time.Time      `json:"saved_at"`
+	Requests   []requestEntry `json:"requests,omitempty"`
+}
+
+// requestEntry is one remembered insert request in the commit record: the
+// consecutive record-id span its batch was assigned.
+type requestEntry struct {
+	ID    string `json:"id"`
+	First int    `json:"first"`
+	Count int    `json:"count"`
 }
 
 func metaPath(dir string) string { return filepath.Join(dir, "meta.json") }
@@ -589,7 +707,9 @@ func (c *Collection) snapshot() (committed bool, err error) {
 	c.mu.RLock()
 	gen := c.gen + 1
 	err = func() error {
-		if err := writeFileSync(indexPath(c.dir, gen), c.ix.Save); err != nil {
+		if err := writeFileSync(indexPath(c.dir, gen), func(w io.Writer) error {
+			return gbkmv.SaveEngine(w, c.eng)
+		}); err != nil {
 			return fmt.Errorf("writing index snapshot: %w", err)
 		}
 		if err := writeFileSync(vocabPath(c.dir, gen), c.voc.Save); err != nil {
@@ -598,8 +718,10 @@ func (c *Collection) snapshot() (committed bool, err error) {
 		return nil
 	}()
 	records := 0
+	engine := ""
 	if err == nil {
-		records = c.ix.Len()
+		records = c.eng.Len()
+		engine = c.eng.EngineName()
 	}
 	c.mu.RUnlock()
 	if err != nil {
@@ -609,7 +731,18 @@ func (c *Collection) snapshot() (committed bool, err error) {
 	if err != nil {
 		return false, fmt.Errorf("creating journal: %w", err)
 	}
-	m := meta{Name: c.name, Generation: gen, Records: records, SavedAt: time.Now().UTC()}
+	// The request window rides in the commit record: the snapshot subsumes
+	// (and truncates) the journal that carried the ids, and the retry the
+	// window exists for may arrive after both the snapshot and a restart.
+	// Caller holds ioMu (or exclusively owns the collection), so the log is
+	// stable here.
+	reqs := make([]requestEntry, 0, len(c.requests.order))
+	for _, rid := range c.requests.order {
+		s := c.requests.ids[rid]
+		reqs = append(reqs, requestEntry{ID: rid, First: s.first, Count: s.count})
+	}
+	m := meta{Name: c.name, Engine: engine, Generation: gen, Records: records,
+		SavedAt: time.Now().UTC(), Requests: reqs}
 	b, err := json.MarshalIndent(m, "", "  ")
 	if err != nil {
 		jw.Close()
@@ -678,7 +811,9 @@ func loadCollection(dir string) (*Collection, error) {
 	if err != nil {
 		return nil, err
 	}
-	ix, err := gbkmv.Load(f)
+	// LoadEngine dispatches on the snapshot's engine header; headerless
+	// snapshots from before engines existed load as the GB-KMV index.
+	eng, err := gbkmv.LoadEngine(f)
 	f.Close()
 	if err != nil {
 		return nil, err
@@ -697,13 +832,32 @@ func loadCollection(dir string) (*Collection, error) {
 		return nil, err
 	}
 	// Re-intern in entry order (reproducing the original ids), then apply
-	// as one batch so an over-budget threshold shrink costs one resketch
-	// per startup, not one per entry.
+	// as one batch so an over-budget threshold shrink (or a static engine's
+	// rebuild) costs one pass per startup, not one per entry.
+	base := eng.Len()
 	recs := make([]gbkmv.Record, len(entries))
-	for i, tokens := range entries {
-		recs[i] = voc.Record(tokens)
+	for i, e := range entries {
+		recs[i] = voc.Record(e.Tokens)
 	}
-	ix.AddBatch(recs)
+	eng.AddBatch(recs)
+	// Rebuild the duplicate-detection window: the ids persisted at the last
+	// snapshot, then every request-tagged journal batch (consecutive frames
+	// sharing a rid) replayed on top, in order.
+	requests := newRequestLog()
+	for _, r := range m.Requests {
+		requests.add(r.ID, r.First, r.Count)
+	}
+	for i := 0; i < len(entries); {
+		rid := entries[i].RequestID
+		j := i + 1
+		for j < len(entries) && entries[j].RequestID == rid {
+			j++
+		}
+		if rid != "" {
+			requests.add(rid, base+i, j-i)
+		}
+		i = j
+	}
 	jw, err := openJournalWriter(journalPath(dir, m.Generation), validLen)
 	if err != nil {
 		return nil, err
@@ -713,10 +867,11 @@ func loadCollection(dir string) (*Collection, error) {
 		name:      m.Name,
 		dir:       dir,
 		voc:       voc,
-		ix:        ix,
+		eng:       eng,
 		gen:       m.Generation,
 		journal:   jw,
 		journaled: len(entries),
+		requests:  requests,
 	}, nil
 }
 

@@ -14,8 +14,19 @@ import (
 // A Query tracks the index's global threshold: when records added after
 // Prepare shrink it (the fixed-budget eviction of Section IV-B), the
 // signature is transparently rebuilt before the next use, so results never
-// mix sketches from different thresholds. A Query is not safe for
-// concurrent use; prepare one per goroutine.
+// mix sketches from different thresholds.
+//
+// # Concurrency
+//
+// A Query is not safe for concurrent use: WithSize/SetSize mutate it, and
+// any read may transparently re-sketch after a threshold shrink. Instead of
+// preparing from scratch per goroutine, Clone the query — clones share the
+// immutable signature data and copy only the mutable tracking state, so a
+// server can prepare once and hand a clone to each worker. Clones are
+// independent afterwards: a threshold-shrink rebuild in one clone never
+// touches another. (Reads still must not run concurrently with Index
+// mutations such as Add/AddBatch; serialize those externally, as
+// internal/server does.)
 type Query struct {
 	inner *core.Index
 	rec   Record
@@ -62,6 +73,20 @@ func (q *Query) current() *core.QuerySig {
 	}
 	return q.sig
 }
+
+// Clone returns an independent copy for cheap per-goroutine reuse: the
+// prepared signature is shared (it is immutable), only the per-query mutable
+// state — the size override and the threshold-tracking rebuild slot — is
+// copied. See the type documentation for the concurrency contract.
+func (q *Query) Clone() *Query {
+	cp := *q
+	cp.sig = q.sig.Clone()
+	return &cp
+}
+
+// SetSize is WithSize without the chaining return, satisfying the
+// PreparedQuery contract.
+func (q *Query) SetSize(n int) { q.sig.Size = n }
 
 // WithSize overrides the true query size |Q| and returns the query. Use it
 // when q had to omit elements that cannot appear in any indexed record
