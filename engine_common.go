@@ -4,7 +4,8 @@ import (
 	"encoding/gob"
 	"fmt"
 	"io"
-	"sort"
+
+	"gbkmv/internal/topkheap"
 )
 
 // The baseline engines share one mechanical skeleton: they retain the record
@@ -67,36 +68,28 @@ func searchByEstimate(n int, threshold float64, est func(i int) float64) []int {
 
 // topkByEstimate scores the given candidate ids (all n records when cands is
 // nil), drops zero estimates, and returns the k best, best first with ties
-// broken by ascending id.
+// broken by ascending id. Selection runs through the shared bounded heap
+// (the same one behind the GB-KMV index's pruned top-k), so every registry
+// engine pays O(n log k) instead of sorting its full candidate set.
 func topkByEstimate(n, k int, cands []int, est func(i int) float64) []Scored {
 	if k <= 0 {
 		return nil
 	}
-	scored := make([]Scored, 0, k)
-	score := func(i int) {
-		if s := est(i); s > 0 {
-			scored = append(scored, Scored{ID: i, Score: s})
-		}
-	}
+	h := topkheap.Make(k, nil)
 	if cands == nil {
 		for i := 0; i < n; i++ {
-			score(i)
+			if s := est(i); s > 0 {
+				h.Push(i, s)
+			}
 		}
 	} else {
 		for _, i := range cands {
-			score(i)
+			if s := est(i); s > 0 {
+				h.Push(i, s)
+			}
 		}
 	}
-	sort.Slice(scored, func(a, b int) bool {
-		if scored[a].Score != scored[b].Score {
-			return scored[a].Score > scored[b].Score
-		}
-		return scored[a].ID < scored[b].ID
-	})
-	if len(scored) > k {
-		scored = scored[:k]
-	}
-	return scored
+	return h.Sorted()
 }
 
 // clamp01 clamps a containment estimate into [0, 1].

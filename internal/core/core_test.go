@@ -309,9 +309,18 @@ func TestUsedUnitsAccounting(t *testing.T) {
 		t.Fatal(err)
 	}
 	wantBuf := 100 * 64 / BufferUnitBits
+	// Recount the sketch units independently of the arena accounting: one
+	// unit per non-buffered element occurrence whose hash clears τ.
 	sketch := 0
-	for _, s := range ix.sketches {
-		sketch += s.K()
+	for _, rec := range d.Records {
+		for _, e := range rec {
+			if _, buffered := ix.bitOf[e]; buffered {
+				continue
+			}
+			if hash.UnitHash(e, testSeed) <= ix.Tau() {
+				sketch++
+			}
+		}
 	}
 	if got := ix.UsedUnits(); got != wantBuf+sketch {
 		t.Errorf("UsedUnits = %d, want %d", got, wantBuf+sketch)

@@ -13,6 +13,7 @@ import (
 	"gbkmv/internal/gkmv"
 	"gbkmv/internal/hash"
 	"gbkmv/internal/kmv"
+	"gbkmv/internal/selectk"
 )
 
 // Index is the GB-KMV sketch of a dataset (Algorithm 1): for every record a
@@ -26,18 +27,30 @@ type Index struct {
 	bufferElems []hash.Element       // E_H in decreasing frequency order
 	bitOf       map[hash.Element]int // element → buffer bit position
 	buffers     []*bitmap.Bitmap     // H_X per record (nil when r == 0)
-	sketches    []*gkmv.Sketch       // L_X per record
 
-	tau         float64
-	bufferBits  int // r
-	budget      int // in signature units
-	sketchUnits int // Σ sketch K(), maintained so UsedUnits is O(1)
+	// arena holds every record's G-KMV hash run in one flat CSR layout; see
+	// sketchArena. All per-record sketch reads go through arena.view(i).
+	arena sketchArena
+
+	tau        float64
+	bufferBits int // r
+	budget     int // in signature units
 
 	// Inverted index for accelerated search: postings[e] lists the records
 	// whose G-KMV sketch contains element e.
 	postings map[hash.Element][]int32
 	// bufferPostings[bit] lists the records whose buffer has that bit set.
 	bufferPostings [][]int32
+	// bitOrder lists all buffer bits sorted by ascending posting-list
+	// length, refreshed by buildPostings. Search's prefix filter scans the
+	// query's rarest bits in this cached order instead of re-sorting per
+	// query; inserts may leave it slightly stale, which affects only which
+	// (equally correct) candidate superset is generated, never the results.
+	bitOrder []int32
+
+	// scratchPool recycles searchScratch working memory across queries; see
+	// scratch.go for the ownership contract.
+	scratchPool sync.Pool
 }
 
 // BuildIndex constructs the GB-KMV index of the dataset (Algorithm 1).
@@ -101,27 +114,31 @@ func BuildIndex(d *dataset.Dataset, opt Options) (*Index, error) {
 	ix.tau = tau
 
 	// Lines 4-6: per-record buffer and sketch, built in parallel (each
-	// record's signature is independent).
-	ix.buffers = make([]*bitmap.Bitmap, m)
-	ix.sketches = make([]*gkmv.Sketch, m)
+	// record's signature is independent) and packed into the flat arena.
 	ix.sketchAll()
 	ix.buildPostings()
 	return ix, nil
 }
 
-// sketchAll fills buffers and sketches for every record concurrently.
+// sketchAll rebuilds buffers and the sketch arena for every record: the
+// per-record runs are computed concurrently into temporaries, then packed
+// into the contiguous store in record order.
 func (ix *Index) sketchAll() {
+	m := len(ix.records)
+	runs := make([][]float64, m)
+	complete := make([]bool, m)
+	buffers := make([]*bitmap.Bitmap, m)
 	workers := runtime.GOMAXPROCS(0)
-	if workers > len(ix.records) {
-		workers = len(ix.records)
+	if workers > m {
+		workers = m
 	}
 	var wg sync.WaitGroup
-	chunk := (len(ix.records) + workers - 1) / workers
+	chunk := (m + workers - 1) / workers
 	for w := 0; w < workers; w++ {
 		lo := w * chunk
 		hi := lo + chunk
-		if hi > len(ix.records) {
-			hi = len(ix.records)
+		if hi > m {
+			hi = m
 		}
 		if lo >= hi {
 			break
@@ -130,21 +147,20 @@ func (ix *Index) sketchAll() {
 		go func(lo, hi int) {
 			defer wg.Done()
 			for i := lo; i < hi; i++ {
-				ix.buffers[i], ix.sketches[i] = ix.sketchRecord(ix.records[i])
+				buffers[i], runs[i], complete[i] = ix.sketchRecord(ix.records[i])
 			}
 		}(lo, hi)
 	}
 	wg.Wait()
-	ix.recountUnits()
-}
-
-// recountUnits refreshes the cached sketch-unit total after a bulk rebuild.
-func (ix *Index) recountUnits() {
-	u := 0
-	for _, s := range ix.sketches {
-		u += s.K()
+	total := 0
+	for _, run := range runs {
+		total += len(run)
 	}
-	ix.sketchUnits = u
+	ix.buffers = buffers
+	ix.arena.reset(m, total)
+	for i, run := range runs {
+		ix.arena.appendRun(run, complete[i])
+	}
 }
 
 // bufferUnits is the budget charge of an r-bit buffer across m records
@@ -171,12 +187,13 @@ func (ix *Index) thresholdForRemaining(d *dataset.Dataset, gBudget int) (float64
 	if gBudget >= len(all) {
 		return 1, nil
 	}
-	sort.Float64s(all)
-	return all[gBudget-1], nil
+	// Only one order statistic is needed: quickselect instead of a full sort.
+	return selectk.Float64s(all, gBudget-1), nil
 }
 
-// sketchRecord builds the (H_X, L_X) pair for one record.
-func (ix *Index) sketchRecord(rec dataset.Record) (*bitmap.Bitmap, *gkmv.Sketch) {
+// sketchRecord builds the (H_X, L_X) pair for one record, returning the
+// sketch as a raw ascending hash run ready for arena packing.
+func (ix *Index) sketchRecord(rec dataset.Record) (*bitmap.Bitmap, []float64, bool) {
 	var buf *bitmap.Bitmap
 	if ix.bufferBits > 0 {
 		buf = bitmap.New(ix.bufferBits)
@@ -189,10 +206,12 @@ func (ix *Index) sketchRecord(rec dataset.Record) (*bitmap.Bitmap, *gkmv.Sketch)
 		}
 		rest = append(rest, e)
 	}
-	return buf, gkmv.Build(rest, ix.tau, ix.opt.Seed)
+	run, complete := gkmv.BuildHashes(rest, ix.tau, ix.opt.Seed)
+	return buf, run, complete
 }
 
-// buildPostings constructs the inverted lists used by Search.
+// buildPostings constructs the inverted lists used by Search, plus the
+// cached length-sorted buffer-bit order the prefix filter scans.
 func (ix *Index) buildPostings() {
 	ix.postings = make(map[hash.Element][]int32)
 	for i, rec := range ix.records {
@@ -214,6 +233,18 @@ func (ix *Index) buildPostings() {
 			ix.bufferPostings[bit] = append(ix.bufferPostings[bit], int32(i))
 		}
 	}
+	ix.bitOrder = make([]int32, ix.bufferBits)
+	for i := range ix.bitOrder {
+		ix.bitOrder[i] = int32(i)
+	}
+	sort.Slice(ix.bitOrder, func(a, b int) bool {
+		la := len(ix.bufferPostings[ix.bitOrder[a]])
+		lb := len(ix.bufferPostings[ix.bitOrder[b]])
+		if la != lb {
+			return la < lb
+		}
+		return ix.bitOrder[a] < ix.bitOrder[b]
+	})
 }
 
 // NumRecords returns the number of indexed records.
@@ -237,15 +268,15 @@ func (ix *Index) BufferElements() []hash.Element { return ix.bufferElems }
 func (ix *Index) BudgetUnits() int { return ix.budget }
 
 // UsedUnits returns the number of budget units actually consumed: one per
-// stored hash value plus r/32 per record. O(1): the sketch total is
-// maintained incrementally, so the per-insert budget check does not scan
-// the collection.
+// stored hash value plus r/32 per record. O(1): the arena length is the
+// stored-hash total, so the per-insert budget check does not scan the
+// collection.
 func (ix *Index) UsedUnits() int {
-	return bufferUnits(len(ix.records), ix.bufferBits) + ix.sketchUnits
+	return bufferUnits(len(ix.records), ix.bufferBits) + ix.arena.units()
 }
 
 // SizeBytes returns the in-memory footprint of the signatures (buffers +
-// sketches), excluding the retained records and inverted lists.
+// sketch arena), excluding the retained records and inverted lists.
 func (ix *Index) SizeBytes() int {
 	b := 0
 	for _, buf := range ix.buffers {
@@ -253,10 +284,7 @@ func (ix *Index) SizeBytes() int {
 			b += buf.SizeBytes()
 		}
 	}
-	for _, s := range ix.sketches {
-		b += s.SizeBytes()
-	}
-	return b
+	return b + 8*ix.arena.units()
 }
 
 // QuerySig is the GB-KMV sketch of a query record, reusable across many
@@ -264,7 +292,7 @@ func (ix *Index) SizeBytes() int {
 type QuerySig struct {
 	Size   int // true |Q| (Remark 1: assumed available)
 	buffer *bitmap.Bitmap
-	sketch *gkmv.Sketch
+	sketch gkmv.View
 	// rest holds the query's non-buffered elements with hash ≤ τ, used by
 	// the inverted-index search.
 	rest []hash.Element
@@ -280,28 +308,47 @@ func (sig *QuerySig) Clone() *QuerySig {
 }
 
 // Sketch builds the query signature under the index's threshold, seed and
-// buffer layout.
+// buffer layout. The returned signature owns its memory and may outlive any
+// number of index rebuilds.
 func (ix *Index) Sketch(q dataset.Record) *QuerySig {
-	var buf *bitmap.Bitmap
+	sig := &QuerySig{}
+	ix.sketchInto(sig, q)
+	return sig
+}
+
+// sketchInto fills sig with the query signature, reusing sig's buffer,
+// rest slice and hash run when their capacity allows. This is the
+// zero-steady-state-allocation path behind the sketch-and-search entry
+// points (the reused sig lives in the pooled searchScratch); Sketch calls it
+// with a fresh signature.
+func (ix *Index) sketchInto(sig *QuerySig, q dataset.Record) {
 	if ix.bufferBits > 0 {
-		buf = bitmap.New(ix.bufferBits)
+		if sig.buffer == nil || sig.buffer.Len() != ix.bufferBits {
+			sig.buffer = bitmap.New(ix.bufferBits)
+		} else {
+			sig.buffer.Reset()
+		}
+	} else {
+		sig.buffer = nil
 	}
-	rest := make([]hash.Element, 0, len(q))
+	rest := sig.rest[:0]
+	run := sig.sketch.Hashes()[:0]
 	for _, e := range q {
 		if bit, ok := ix.bitOf[e]; ok {
-			buf.Set(bit)
+			sig.buffer.Set(bit)
 			continue
 		}
-		if hash.UnitHash(e, ix.opt.Seed) <= ix.tau {
+		if v := hash.UnitHash(e, ix.opt.Seed); v <= ix.tau {
 			rest = append(rest, e)
+			run = append(run, v)
 		}
 	}
-	return &QuerySig{
-		Size:   len(q),
-		buffer: buf,
-		sketch: gkmv.Build(rest, ix.tau, ix.opt.Seed),
-		rest:   rest,
-	}
+	sort.Float64s(run)
+	sig.Size = len(q)
+	sig.rest = rest
+	// Mirrors gkmv.Build over the prefiltered rest: every element of rest
+	// hashes ≤ τ by construction, so the run always covers it ("complete").
+	sig.sketch = gkmv.MakeView(run, true)
 }
 
 // EstimatedSize estimates |Q| from the signature alone: the exact count of
@@ -324,7 +371,7 @@ func (ix *Index) EstimateIntersection(sig *QuerySig, i int) float64 {
 	if sig.buffer != nil && ix.buffers[i] != nil {
 		exact = sig.buffer.AndCount(ix.buffers[i])
 	}
-	return float64(exact) + gkmv.Intersect(sig.sketch, ix.sketches[i]).DInter
+	return float64(exact) + gkmv.IntersectViews(sig.sketch, ix.arena.view(i)).DInter
 }
 
 // EstimateWithError returns the containment estimate together with an
@@ -341,7 +388,7 @@ func (ix *Index) EstimateWithError(sig *QuerySig, i int) (est, stderr float64) {
 	if sig.buffer != nil && ix.buffers[i] != nil {
 		exact = sig.buffer.AndCount(ix.buffers[i])
 	}
-	res := gkmv.Intersect(sig.sketch, ix.sketches[i])
+	res := gkmv.IntersectViews(sig.sketch, ix.arena.view(i))
 	est = (float64(exact) + res.DInter) / float64(sig.Size)
 	if est > 1 {
 		est = 1

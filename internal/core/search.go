@@ -1,22 +1,37 @@
 package core
 
 import (
-	"sort"
+	"slices"
 
 	"gbkmv/internal/dataset"
 	"gbkmv/internal/hash"
+	"gbkmv/internal/selectk"
 )
 
 // Search returns the ids of all records whose estimated containment
 // similarity C(Q, X) is at least tstar, using the inverted-index accelerated
 // algorithm. Results are sorted ascending. It is equivalent to SearchLinear
 // (Algorithm 2) but skips records that share no signature with the query.
+//
+// The query is sketched into pooled scratch memory, so steady-state calls
+// allocate only the result slice.
 func (ix *Index) Search(q dataset.Record, tstar float64) []int {
-	return ix.SearchSig(ix.Sketch(q), tstar)
+	sc := ix.getScratch()
+	defer ix.putScratch(sc)
+	ix.sketchInto(&sc.sig, q)
+	return ix.searchSigWith(&sc.sig, tstar, sc)
 }
 
 // SearchSig is Search with a prebuilt query signature.
 func (ix *Index) SearchSig(sig *QuerySig, tstar float64) []int {
+	sc := ix.getScratch()
+	defer ix.putScratch(sc)
+	return ix.searchSigWith(sig, tstar, sc)
+}
+
+// searchSigWith runs the search over caller-provided scratch, the inner loop
+// shared by SearchSig, Search and the per-worker batch paths.
+func (ix *Index) searchSigWith(sig *QuerySig, tstar float64, sc *searchScratch) []int {
 	theta := tstar * float64(sig.Size)
 	if theta <= 0 {
 		// Every record trivially satisfies the threshold.
@@ -29,42 +44,42 @@ func (ix *Index) SearchSig(sig *QuerySig, tstar float64) []int {
 	// Candidate generation: a record with zero buffer overlap and zero
 	// sketch overlap has estimate exactly 0 < θ, so only records appearing
 	// in at least one posting list can qualify. K∩ is accumulated exactly
-	// (same element ⇔ same hash value).
-	m := len(ix.records)
-	counts := make([]int32, m) // K∩ per record
-	seen := make([]bool, m)
-	touched := make([]int32, 0, 256)
+	// (same element ⇔ same hash value) in the epoch-stamped scratch.
+	sc.nextEpoch()
+	sc.touched = sc.touched[:0]
 	for _, e := range sig.rest {
 		for _, id := range ix.postings[e] {
-			if !seen[id] {
-				seen[id] = true
-				touched = append(touched, id)
-			}
-			counts[id]++
+			sc.visit(id)
+			sc.counts[id]++
 		}
 	}
 	// A record with zero sketch overlap (K∩ = 0, so D̂∩ = 0) can still
 	// qualify through the exact buffer part when |H_Q ∩ H_X| ≥ θ. Such a
 	// record shares at least c = ⌈θ⌉ of the query's nq buffered bits, so —
 	// prefix-filter style — it must contain one of any fixed (nq − c + 1)
-	// of them. Scanning only the nq−c+1 *rarest* bits' posting lists keeps
-	// this exact while skipping the head elements' huge lists.
+	// of them. Scanning the nq−c+1 *rarest* query bits keeps this exact
+	// while skipping the head elements' huge lists; the rarity order comes
+	// from the index's cached bitOrder (refreshed by buildPostings), so no
+	// per-query sort is paid. A slightly stale order after inserts changes
+	// only which equally-valid candidate superset is scanned, never the
+	// final results.
 	if sig.buffer != nil {
-		qBits := sig.buffer.Ones()
+		nq := sig.buffer.Count()
 		c := int(theta)
 		if float64(c) < theta {
 			c++ // ⌈θ⌉
 		}
-		if c >= 1 && c <= len(qBits) {
-			sort.Slice(qBits, func(a, b int) bool {
-				return len(ix.bufferPostings[qBits[a]]) < len(ix.bufferPostings[qBits[b]])
-			})
-			for _, bit := range qBits[:len(qBits)-c+1] {
+		if c >= 1 && c <= nq {
+			remaining := nq - c + 1
+			for _, bit := range ix.bitOrder {
+				if !sig.buffer.Get(int(bit)) {
+					continue
+				}
 				for _, id := range ix.bufferPostings[bit] {
-					if !seen[id] {
-						seen[id] = true
-						touched = append(touched, id)
-					}
+					sc.visit(id)
+				}
+				if remaining--; remaining == 0 {
+					break
 				}
 			}
 		}
@@ -78,8 +93,8 @@ func (ix *Index) SearchSig(sig *QuerySig, tstar float64) []int {
 	if hs := sig.sketch.Hashes(); len(hs) > 0 {
 		qMax = hs[len(hs)-1]
 	}
-	out := []int{}
-	for _, id := range touched {
+	out := make([]int, 0, len(sc.touched))
+	for _, id := range sc.touched {
 		need := theta
 		if sig.buffer != nil && ix.buffers[id] != nil {
 			need -= float64(sig.buffer.AndCount(ix.buffers[id]))
@@ -89,14 +104,14 @@ func (ix *Index) SearchSig(sig *QuerySig, tstar float64) []int {
 			out = append(out, int(id))
 			continue
 		}
-		if float64(counts[id]) < need*qMax {
+		if float64(sc.counts[id]) < need*qMax {
 			continue
 		}
 		if ix.EstimateIntersection(sig, int(id)) >= theta {
 			out = append(out, int(id))
 		}
 	}
-	sort.Ints(out)
+	slices.Sort(out)
 	return out
 }
 
@@ -138,10 +153,9 @@ func (ix *Index) AddRecords(recs []dataset.Record) {
 	base := len(ix.records)
 	for _, rec := range recs {
 		ix.records = append(ix.records, rec)
-		buf, sk := ix.sketchRecord(rec)
+		buf, run, complete := ix.sketchRecord(rec)
 		ix.buffers = append(ix.buffers, buf)
-		ix.sketches = append(ix.sketches, sk)
-		ix.sketchUnits += sk.K()
+		ix.arena.appendRun(run, complete)
 	}
 	if over := ix.UsedUnits() - ix.budget; over > 0 {
 		// shrinkThreshold rebuilds every sketch and all posting lists,
@@ -182,29 +196,27 @@ func (ix *Index) addPostings(id int32) {
 // and the over-budget state is accepted rather than paying a full posting
 // rebuild per insert, or worse, panicking.
 func (ix *Index) shrinkThreshold(over int) bool {
-	// Collect all stored hash values; the new τ is the (total-over)-th
-	// smallest. sketchUnits is exactly the total, so allocate once.
-	all := make([]float64, 0, ix.sketchUnits)
-	for _, s := range ix.sketches {
-		all = append(all, s.Hashes()...)
-	}
-	if len(all) == 0 {
+	total := ix.arena.units()
+	if total == 0 {
 		return false
 	}
-	keep := len(all) - over
+	keep := total - over
 	if keep < 1 {
 		keep = 1
 	}
-	sort.Float64s(all)
-	// τ is a value threshold and identical elements share a hash, so a tie
-	// run at the cut stays whole: the index can settle slightly over
-	// budget. Crucially the new τ depends only on the stored multiset and
-	// keep — never on the insertion grouping — so batched and sequential
-	// inserts (and hence journal replay) converge on identical state. When
-	// the cut lands exactly on the current τ the "shrink" is a no-op;
-	// skip the full resketch rather than repeating it on every insert
-	// while the tie run holds the line.
-	cut := all[keep-1]
+	// The new τ is the keep-th smallest stored hash value: quickselect on a
+	// copy of the arena (the copy keeps the arena's per-record runs ordered
+	// when the shrink turns out to be a no-op). τ is a value threshold and
+	// identical elements share a hash, so a tie run at the cut stays whole:
+	// the index can settle slightly over budget. Crucially the new τ
+	// depends only on the stored multiset and keep — never on the insertion
+	// grouping — so batched and sequential inserts (and hence journal
+	// replay) converge on identical state. When the cut lands exactly on
+	// the current τ the "shrink" is a no-op; skip the full resketch rather
+	// than repeating it on every insert while the tie run holds the line.
+	all := make([]float64, total)
+	copy(all, ix.arena.hashes)
+	cut := selectk.Float64s(all, keep-1)
 	if cut == ix.tau {
 		return false
 	}

@@ -8,14 +8,16 @@ import (
 
 	"gbkmv/internal/bitmap"
 	"gbkmv/internal/dataset"
-	"gbkmv/internal/gkmv"
 	"gbkmv/internal/hash"
 )
 
-// indexWire is the gob-encoded form of an Index. Sketches and buffers are
-// not serialized: they are cheap, deterministic functions of (records,
-// options, bufferElems, tau), so rebuilding them on load avoids both wire
-// size and any drift between stored and derived state.
+// indexWire is the gob-encoded form of an Index. Since wire version 2 the
+// sketch arena is written directly — one flat hash store plus the CSR offset
+// table — so Load restores signatures with a copy instead of re-hashing and
+// re-sorting every record. Buffers are still rebuilt (they are cheap map
+// lookups, no hashing), as are the inverted lists. Version-1 snapshots,
+// which carried no arena, keep loading: their sketches are rebuilt from the
+// records exactly as before and land in the arena.
 type indexWire struct {
 	Version     int
 	Opt         Options
@@ -24,31 +26,39 @@ type indexWire struct {
 	Tau         float64
 	BufferBits  int
 	Budget      int
+	// The signature arena (version ≥ 2); see sketchArena for the layout.
+	ArenaHashes   []float64
+	ArenaOffsets  []uint32
+	ArenaComplete []bool
 }
 
-const wireVersion = 1
+const wireVersion = 2
 
-// Save serializes the index. The format is self-contained: Load rebuilds
-// the exact same sketches (hashing is deterministic in the stored seed).
+// Save serializes the index. The format is self-contained and includes the
+// packed signature arena, so Load reconstructs the exact same sketches
+// without re-hashing the collection.
 func (ix *Index) Save(w io.Writer) error {
 	return gob.NewEncoder(w).Encode(indexWire{
-		Version:     wireVersion,
-		Opt:         ix.opt,
-		Records:     ix.records,
-		BufferElems: ix.bufferElems,
-		Tau:         ix.tau,
-		BufferBits:  ix.bufferBits,
-		Budget:      ix.budget,
+		Version:       wireVersion,
+		Opt:           ix.opt,
+		Records:       ix.records,
+		BufferElems:   ix.bufferElems,
+		Tau:           ix.tau,
+		BufferBits:    ix.bufferBits,
+		Budget:        ix.budget,
+		ArenaHashes:   ix.arena.hashes,
+		ArenaOffsets:  ix.arena.offsets,
+		ArenaComplete: ix.arena.complete,
 	})
 }
 
-// Load reconstructs an index written by Save.
+// Load reconstructs an index written by Save (any supported wire version).
 func Load(r io.Reader) (*Index, error) {
 	var w indexWire
 	if err := gob.NewDecoder(r).Decode(&w); err != nil {
 		return nil, fmt.Errorf("core: decoding index: %v", err)
 	}
-	if w.Version != wireVersion {
+	if w.Version != 1 && w.Version != wireVersion {
 		return nil, fmt.Errorf("core: unsupported index version %d", w.Version)
 	}
 	if len(w.Records) == 0 {
@@ -66,9 +76,39 @@ func Load(r io.Reader) (*Index, error) {
 	for i, e := range ix.bufferElems {
 		ix.bitOf[e] = i
 	}
-	ix.buffers = make([]*bitmap.Bitmap, len(ix.records))
-	ix.sketches = make([]*gkmv.Sketch, len(ix.records))
-	ix.sketchAll()
+	if w.Version >= 2 {
+		ix.arena = sketchArena{
+			hashes:   w.ArenaHashes,
+			offsets:  w.ArenaOffsets,
+			complete: w.ArenaComplete,
+		}
+		if !ix.arena.valid(len(ix.records)) {
+			return nil, errors.New("core: serialized index has a corrupt signature arena")
+		}
+		ix.rebuildBuffers()
+	} else {
+		// Legacy snapshot without an arena: derive the sketches from the
+		// records, exactly as the writer built them.
+		ix.sketchAll()
+	}
 	ix.buildPostings()
 	return ix, nil
+}
+
+// rebuildBuffers reconstructs the per-record bitmap buffers from the records
+// and the buffered-element mapping — pure map lookups, no hashing.
+func (ix *Index) rebuildBuffers() {
+	ix.buffers = make([]*bitmap.Bitmap, len(ix.records))
+	if ix.bufferBits <= 0 {
+		return
+	}
+	for i, rec := range ix.records {
+		buf := bitmap.New(ix.bufferBits)
+		for _, e := range rec {
+			if bit, ok := ix.bitOf[e]; ok {
+				buf.Set(bit)
+			}
+		}
+		ix.buffers[i] = buf
+	}
 }

@@ -1,18 +1,21 @@
 package core
 
 import (
+	"math/bits"
 	"runtime"
 	"sort"
 	"sync"
+	"sync/atomic"
 
 	"gbkmv/internal/dataset"
+	"gbkmv/internal/gkmv"
+	"gbkmv/internal/topkheap"
 )
 
-// Scored pairs a record id with its estimated containment similarity.
-type Scored struct {
-	ID    int
-	Score float64
-}
+// Scored pairs a record id with its estimated containment similarity. It is
+// an alias of the shared top-k heap item, so heap output flows through the
+// engine layer without conversion.
+type Scored = topkheap.Scored
 
 // SearchTopK returns the k records with the highest estimated containment
 // similarity C(Q, X), best first (ties broken by ascending id). Records with
@@ -21,69 +24,118 @@ func (ix *Index) SearchTopK(q dataset.Record, k int) []Scored {
 	if k <= 0 {
 		return nil // don't pay for the sketch
 	}
-	return ix.SearchTopKSig(ix.Sketch(q), k)
+	sc := ix.getScratch()
+	defer ix.putScratch(sc)
+	ix.sketchInto(&sc.sig, q)
+	return ix.topkSigWith(&sc.sig, k, sc)
 }
 
 // SearchTopKSig is SearchTopK with a prebuilt query signature.
 func (ix *Index) SearchTopKSig(sig *QuerySig, k int) []Scored {
+	sc := ix.getScratch()
+	defer ix.putScratch(sc)
+	return ix.topkSigWith(sig, k, sc)
+}
+
+// topkSigWith selects the k best candidates with a bounded min-heap and an
+// upper-bound prune instead of scoring everything and sorting: once the heap
+// holds k results, a candidate whose cheap score ceiling cannot beat the
+// running k-th score skips the full G-KMV merge entirely.
+func (ix *Index) topkSigWith(sig *QuerySig, k int, sc *searchScratch) []Scored {
 	if k <= 0 || sig.Size == 0 {
 		return nil
 	}
-	// Candidate generation as in SearchSig with θ → 0⁺: any record sharing
-	// a sketch element or a buffered element can score above zero.
-	m := len(ix.records)
-	seen := make([]bool, m)
-	cands := make([]int32, 0, 256)
+	// Candidate generation as in searchSigWith with θ → 0⁺: any record
+	// sharing a sketch element or a buffered element can score above zero.
+	// K∩ per candidate is accumulated for the prune below.
+	sc.nextEpoch()
+	sc.touched = sc.touched[:0]
 	for _, e := range sig.rest {
 		for _, id := range ix.postings[e] {
-			if !seen[id] {
-				seen[id] = true
-				cands = append(cands, id)
-			}
+			sc.visit(id)
+			sc.counts[id]++
 		}
 	}
 	if sig.buffer != nil {
-		for _, bit := range sig.buffer.Ones() {
-			for _, id := range ix.bufferPostings[bit] {
-				if !seen[id] {
-					seen[id] = true
-					cands = append(cands, id)
+		for wi, words := 0, sig.buffer.Words(); wi < words; wi++ {
+			w := sig.buffer.Word(wi)
+			for w != 0 {
+				bit := wi*64 + bits.TrailingZeros64(w)
+				w &= w - 1
+				for _, id := range ix.bufferPostings[bit] {
+					sc.visit(id)
 				}
 			}
 		}
 	}
-	scored := make([]Scored, 0, len(cands))
-	for _, id := range cands {
-		if s := ix.EstimateContainment(sig, int(id)); s > 0 {
-			scored = append(scored, Scored{ID: int(id), Score: s})
+	// The score ceiling reuses Search's K∩ bound: D̂∩ = K∩·(k−1)/(k·U(k)) ≤
+	// K∩/U(k) ≤ K∩/max(L_Q), since U(k) — the largest hash of L_Q ∪ L_X —
+	// is at least the largest hash of L_Q alone (and in the lossless case
+	// D̂∩ = K∩ ≤ K∩/max(L_Q) because hashes are ≤ 1). Adding the exact
+	// buffer overlap gives an upper bound on the estimate; a candidate
+	// whose bound is strictly below the current k-th score cannot enter the
+	// results (a bound merely equal to it still can, winning its tie on a
+	// smaller id, so ties are always scored).
+	qMax := 0.0
+	if hs := sig.sketch.Hashes(); len(hs) > 0 {
+		qMax = hs[len(hs)-1]
+	}
+	size := float64(sig.Size)
+	h := topkheap.Make(k, sc.heap)
+	for _, id := range sc.touched {
+		exact := 0
+		if sig.buffer != nil && ix.buffers[id] != nil {
+			exact = sig.buffer.AndCount(ix.buffers[id])
+		}
+		upper := float64(exact)
+		if qMax > 0 {
+			upper += float64(sc.counts[id]) / qMax
+		}
+		ub := upper / size
+		if ub > 1 {
+			ub = 1
+		}
+		if h.Full() && ub < h.WorstScore() {
+			continue
+		}
+		est := (float64(exact) + gkmv.IntersectViews(sig.sketch, ix.arena.view(int(id))).DInter) / size
+		if est > 1 {
+			est = 1
+		}
+		if est > 0 {
+			h.Push(int(id), est)
 		}
 	}
-	sort.Slice(scored, func(a, b int) bool {
-		if scored[a].Score != scored[b].Score {
-			return scored[a].Score > scored[b].Score
-		}
-		return scored[a].ID < scored[b].ID
-	})
-	if len(scored) > k {
-		scored = scored[:k]
-	}
-	return scored
+	sc.heap = h.Buf()
+	return h.Sorted()
 }
 
 // SearchBatch runs Search for every query concurrently and returns the
-// per-query result slices in input order.
+// per-query result slices in input order. Each worker owns one scratch (and
+// its embedded query-signature buffers) for its whole share of the batch.
 func (ix *Index) SearchBatch(queries []dataset.Record, tstar float64) [][]int {
 	out := make([][]int, len(queries))
+	workers := runtime.GOMAXPROCS(0)
+	if workers > len(queries) {
+		workers = len(queries)
+	}
+	var next atomic.Int64
 	var wg sync.WaitGroup
-	sem := make(chan struct{}, runtime.GOMAXPROCS(0))
-	for i, q := range queries {
+	for w := 0; w < workers; w++ {
 		wg.Add(1)
-		sem <- struct{}{}
-		go func(i int, q dataset.Record) {
+		go func() {
 			defer wg.Done()
-			out[i] = ix.Search(q, tstar)
-			<-sem
-		}(i, q)
+			sc := ix.getScratch()
+			defer ix.putScratch(sc)
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= len(queries) {
+					return
+				}
+				ix.sketchInto(&sc.sig, queries[i])
+				out[i] = ix.searchSigWith(&sc.sig, tstar, sc)
+			}
+		}()
 	}
 	wg.Wait()
 	return out

@@ -17,19 +17,72 @@ import (
 
 	"gbkmv/internal/dataset"
 	"gbkmv/internal/hash"
+	"gbkmv/internal/selectk"
 )
+
+// View is a read-only G-KMV sketch over externally owned memory: an ascending
+// run of unit hash values plus the completeness flag. It is the currency of
+// the flat-arena signature store — the core index packs every record's run
+// into one shared []float64 and hands out Views, so Intersect and the
+// estimators walk contiguous memory with no per-record pointer chase. A View
+// is a small value (slice header + bool); copy it freely. The underlying run
+// must stay ascending and unmodified while any View of it is in use.
+type View struct {
+	hashes   []float64
+	complete bool
+}
+
+// MakeView wraps an ascending hash run. complete flags that the run covers
+// every element of the sketched record (all hashed below τ).
+func MakeView(hashes []float64, complete bool) View {
+	return View{hashes: hashes, complete: complete}
+}
+
+// K returns the number of stored hash values.
+func (v View) K() int { return len(v.hashes) }
+
+// Complete reports whether every element of the record hashed below τ, in
+// which case the view is a lossless copy of the record's hash set.
+func (v View) Complete() bool { return v.complete }
+
+// Hashes returns the stored values ascending; the slice is owned by the
+// backing store.
+func (v View) Hashes() []float64 { return v.hashes }
+
+// DistinctEstimate returns the Beyer et al. estimator (k−1)/U(k) of the
+// number of distinct elements in the sketched record — exact when the
+// sketch is complete. A G-KMV sketch is a valid KMV sketch of its record
+// with k = |L_X| (Theorem 2 with Y = ∅), so the estimator applies directly.
+func (v View) DistinctEstimate() float64 {
+	if v.complete {
+		return float64(len(v.hashes))
+	}
+	k := len(v.hashes)
+	if k < 2 || v.hashes[k-1] == 0 {
+		return float64(k)
+	}
+	return float64(k-1) / v.hashes[k-1]
+}
 
 // Sketch is a G-KMV synopsis: all unit hash values of the record's elements
 // that fall below the global threshold, sorted ascending.
 type Sketch struct {
-	hashes   []float64
-	tau      float64
-	complete bool // every element of the record hashed below τ
+	view View
+	tau  float64
 }
 
 // Build constructs the G-KMV sketch of a record under threshold tau. All
 // sketches that are compared must share both seed and tau.
 func Build(r dataset.Record, tau float64, seed uint64) *Sketch {
+	hs, complete := BuildHashes(r, tau, seed)
+	return &Sketch{view: MakeView(hs, complete), tau: tau}
+}
+
+// BuildHashes computes the raw sketch of a record under threshold tau: the
+// ascending run of unit hash values ≤ tau, plus whether the run covers every
+// element. This is the arena-filling primitive — callers that pack many
+// records into one flat store use it directly and wrap runs in Views.
+func BuildHashes(r dataset.Record, tau float64, seed uint64) ([]float64, bool) {
 	if tau < 0 || tau > 1 {
 		panic("gkmv: threshold must be in [0, 1]")
 	}
@@ -40,40 +93,32 @@ func Build(r dataset.Record, tau float64, seed uint64) *Sketch {
 		}
 	}
 	sort.Float64s(hs)
-	return &Sketch{hashes: hs, tau: tau, complete: len(hs) == len(r)}
+	return hs, len(hs) == len(r)
 }
 
 // K returns the number of stored hash values.
-func (s *Sketch) K() int { return len(s.hashes) }
+func (s *Sketch) K() int { return s.view.K() }
 
 // Tau returns the global threshold the sketch was built with.
 func (s *Sketch) Tau() float64 { return s.tau }
 
 // Complete reports whether every element of the record hashed below τ, in
 // which case the sketch is a lossless copy of the record's hash set.
-func (s *Sketch) Complete() bool { return s.complete }
+func (s *Sketch) Complete() bool { return s.view.complete }
 
 // Hashes returns the stored values ascending; the slice is owned by the
 // sketch.
-func (s *Sketch) Hashes() []float64 { return s.hashes }
+func (s *Sketch) Hashes() []float64 { return s.view.hashes }
+
+// View returns the sketch's hash run as a View.
+func (s *Sketch) View() View { return s.view }
 
 // SizeBytes returns the in-memory footprint of the stored signature.
-func (s *Sketch) SizeBytes() int { return 8 * len(s.hashes) }
+func (s *Sketch) SizeBytes() int { return 8 * s.view.K() }
 
-// DistinctEstimate returns the Beyer et al. estimator (k−1)/U(k) of the
-// number of distinct elements in the sketched record — exact when the
-// sketch is complete. A G-KMV sketch is a valid KMV sketch of its record
-// with k = |L_X| (Theorem 2 with Y = ∅), so the estimator applies directly.
-func (s *Sketch) DistinctEstimate() float64 {
-	if s.complete {
-		return float64(len(s.hashes))
-	}
-	k := len(s.hashes)
-	if k < 2 || s.hashes[k-1] == 0 {
-		return float64(k)
-	}
-	return float64(k-1) / s.hashes[k-1]
-}
+// DistinctEstimate returns the distinct-element estimate of the sketched
+// record; see View.DistinctEstimate.
+func (s *Sketch) DistinctEstimate() float64 { return s.view.DistinctEstimate() }
 
 // Intersection carries the quantities of the G-KMV estimator.
 type Intersection struct {
@@ -87,6 +132,12 @@ type Intersection struct {
 
 // Intersect estimates |A ∩ B| with the G-KMV estimator (Equations 24–25).
 func Intersect(a, b *Sketch) Intersection {
+	return IntersectViews(a.view, b.view)
+}
+
+// IntersectViews is Intersect over arena-backed views: the same estimator,
+// run directly on two ascending hash runs.
+func IntersectViews(a, b View) Intersection {
 	k, kInter, uk := unionStats(a.hashes, b.hashes)
 	res := Intersection{K: k, KInter: kInter, UK: uk}
 	if a.complete && b.complete {
@@ -175,8 +226,8 @@ func ThresholdForBudget(d *dataset.Dataset, budget int, seed uint64) (float64, e
 	if budget >= len(all) {
 		return 1, nil
 	}
-	sort.Float64s(all)
-	return all[budget-1], nil
+	// Only the budget-th smallest value is needed: quickselect, not sort.
+	return selectk.Float64s(all, budget-1), nil
 }
 
 // BuildAll builds the G-KMV sketch of every record in the dataset under a

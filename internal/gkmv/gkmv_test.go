@@ -26,7 +26,7 @@ func fromHashes(hs []float64, tau float64, complete bool) *Sketch {
 	s := make([]float64, len(hs))
 	copy(s, hs)
 	sort.Float64s(s)
-	return &Sketch{hashes: s, tau: tau, complete: complete}
+	return &Sketch{view: MakeView(s, complete), tau: tau}
 }
 
 func TestBuildKeepsExactlyBelowTau(t *testing.T) {

@@ -1,0 +1,87 @@
+package selectk
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+)
+
+func TestFloat64sMatchesSort(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for trial := 0; trial < 200; trial++ {
+		n := 1 + rng.Intn(400)
+		a := make([]float64, n)
+		for i := range a {
+			switch rng.Intn(3) {
+			case 0:
+				a[i] = rng.Float64()
+			case 1:
+				// Heavy duplication, like hash ties of frequent elements.
+				a[i] = float64(rng.Intn(5)) / 5
+			default:
+				a[i] = float64(rng.Intn(n)) / float64(n)
+			}
+		}
+		want := append([]float64(nil), a...)
+		sort.Float64s(want)
+		k := rng.Intn(n)
+		if got := Float64s(a, k); got != want[k] {
+			t.Fatalf("trial %d: Select(n=%d, k=%d) = %v, want %v", trial, n, k, got, want[k])
+		}
+	}
+}
+
+func TestFloat64sPartitionsInPlace(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	a := make([]float64, 500)
+	for i := range a {
+		a[i] = rng.Float64()
+	}
+	k := 137
+	v := Float64s(a, k)
+	if a[k] != v {
+		t.Fatalf("a[k] = %v, want the selected value %v", a[k], v)
+	}
+	for i := 0; i < k; i++ {
+		if a[i] > v {
+			t.Fatalf("a[%d] = %v exceeds the k-th value %v", i, a[i], v)
+		}
+	}
+	for i := k + 1; i < len(a); i++ {
+		if a[i] < v {
+			t.Fatalf("a[%d] = %v below the k-th value %v", i, a[i], v)
+		}
+	}
+}
+
+func TestFloat64sEdgeCases(t *testing.T) {
+	if got := Float64s([]float64{0.5}, 0); got != 0.5 {
+		t.Fatalf("singleton: got %v", got)
+	}
+	same := []float64{0.3, 0.3, 0.3, 0.3}
+	for k := range same {
+		if got := Float64s(same, k); got != 0.3 {
+			t.Fatalf("all-equal k=%d: got %v", k, got)
+		}
+	}
+	sorted := make([]float64, 1000)
+	for i := range sorted {
+		sorted[i] = float64(i)
+	}
+	if got := Float64s(sorted, 999); got != 999 {
+		t.Fatalf("pre-sorted max: got %v", got)
+	}
+	reversed := make([]float64, 1000)
+	for i := range reversed {
+		reversed[i] = float64(len(reversed) - i)
+	}
+	if got := Float64s(reversed, 0); got != 1 {
+		t.Fatalf("reversed min: got %v", got)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("out-of-range k did not panic")
+		}
+	}()
+	Float64s([]float64{1}, 1)
+}

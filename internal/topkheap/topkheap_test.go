@@ -1,0 +1,90 @@
+package topkheap
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+)
+
+// reference selects the k best by full sort: score descending, id ascending.
+func reference(items []Scored, k int) []Scored {
+	s := append([]Scored(nil), items...)
+	sort.Slice(s, func(a, b int) bool {
+		if s[a].Score != s[b].Score {
+			return s[a].Score > s[b].Score
+		}
+		return s[a].ID < s[b].ID
+	})
+	if len(s) > k {
+		s = s[:k]
+	}
+	return s
+}
+
+func TestHeapMatchesSortReference(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 300; trial++ {
+		n := rng.Intn(200)
+		k := 1 + rng.Intn(20)
+		items := make([]Scored, n)
+		for i := range items {
+			// Coarse scores force plenty of ties.
+			items[i] = Scored{ID: i, Score: float64(rng.Intn(8)) / 8}
+		}
+		rng.Shuffle(n, func(a, b int) { items[a], items[b] = items[b], items[a] })
+		h := Make(k, nil)
+		for _, it := range items {
+			h.Push(it.ID, it.Score)
+		}
+		got := h.Sorted()
+		want := reference(items, k)
+		if len(got) != len(want) {
+			t.Fatalf("trial %d: %d results, want %d", trial, len(got), len(want))
+		}
+		for i := range got {
+			if got[i] != want[i] {
+				t.Fatalf("trial %d: result %d = %+v, want %+v", trial, i, got[i], want[i])
+			}
+		}
+	}
+}
+
+func TestWorstScoreIsKthBest(t *testing.T) {
+	h := Make(3, nil)
+	for i, s := range []float64{0.1, 0.9, 0.5, 0.7, 0.3} {
+		h.Push(i, s)
+	}
+	if !h.Full() {
+		t.Fatal("heap should be full")
+	}
+	if h.WorstScore() != 0.5 {
+		t.Fatalf("WorstScore = %v, want 0.5", h.WorstScore())
+	}
+}
+
+func TestBufReuse(t *testing.T) {
+	h := Make(4, nil)
+	for i := 0; i < 10; i++ {
+		h.Push(i, float64(i))
+	}
+	buf := h.Buf()
+	h2 := Make(4, buf)
+	if h2.Len() != 0 {
+		t.Fatal("reused heap not empty")
+	}
+	h2.Push(1, 1)
+	if got := h2.Sorted(); len(got) != 1 || got[0] != (Scored{ID: 1, Score: 1}) {
+		t.Fatalf("reused heap result %+v", got)
+	}
+}
+
+func TestEmptyAndSmall(t *testing.T) {
+	h := Make(5, nil)
+	if h.Sorted() != nil {
+		t.Fatal("empty heap should return nil")
+	}
+	h.Push(3, 0.2)
+	if got := h.Sorted(); len(got) != 1 || got[0].ID != 3 {
+		t.Fatalf("singleton result %+v", got)
+	}
+}
