@@ -93,6 +93,8 @@ type EngineStats struct {
 	Engine      string  // registry name
 	NumRecords  int     // indexed records
 	SizeBytes   int     // in-memory signature footprint
+	BufferBytes int     // GB-KMV frequent-element buffer share of SizeBytes
+	SketchBytes int     // GB-KMV hash-store share of SizeBytes
 	BudgetUnits int     // configured budget (1 unit = one stored hash value)
 	UsedUnits   int     // units actually consumed
 	BufferBits  int     // GB-KMV buffer size r

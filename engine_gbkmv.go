@@ -35,6 +35,8 @@ func (ix *Index) EngineStats() EngineStats {
 		Engine:      ix.EngineName(),
 		NumRecords:  st.NumRecords,
 		SizeBytes:   st.SizeBytes,
+		BufferBytes: st.BufferBytes,
+		SketchBytes: st.SketchBytes,
 		BudgetUnits: st.BudgetUnits,
 		UsedUnits:   st.UsedUnits,
 		BufferBits:  st.BufferBits,

@@ -183,7 +183,9 @@ type Stats struct {
 	Tau         float64 // global hash threshold
 	BudgetUnits int     // configured budget (1 unit = one hash value = 32 buffer bits)
 	UsedUnits   int     // units actually consumed
-	SizeBytes   int     // in-memory signature footprint
+	SizeBytes   int     // in-memory signature footprint (BufferBytes + SketchBytes)
+	BufferBytes int     // footprint of the frequent-element buffers alone
+	SketchBytes int     // footprint of the G-KMV hash store alone
 }
 
 // Stats reports the index's configuration and footprint.
@@ -195,5 +197,7 @@ func (ix *Index) Stats() Stats {
 		BudgetUnits: ix.inner.BudgetUnits(),
 		UsedUnits:   ix.inner.UsedUnits(),
 		SizeBytes:   ix.inner.SizeBytes(),
+		BufferBytes: ix.inner.BufferSizeBytes(),
+		SketchBytes: ix.inner.SketchSizeBytes(),
 	}
 }

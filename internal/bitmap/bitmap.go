@@ -88,6 +88,22 @@ func (b *Bitmap) AndCount(o *Bitmap) int {
 	return c
 }
 
+// AndCountWords returns the number of positions set both in b and in the
+// raw word slice, which is how the core index intersects a query bitmap
+// against one record's slot of its flat buffer arena without materializing
+// a Bitmap per record. Only the common word prefix is compared.
+func (b *Bitmap) AndCountWords(words []uint64) int {
+	n := len(b.words)
+	if len(words) < n {
+		n = len(words)
+	}
+	c := 0
+	for i := 0; i < n; i++ {
+		c += bits.OnesCount64(b.words[i] & words[i])
+	}
+	return c
+}
+
 // OrCount returns |b ∪ o| over the common capacity plus the exclusive tails.
 func (b *Bitmap) OrCount(o *Bitmap) int {
 	n := len(b.words)

@@ -1,6 +1,10 @@
 package core
 
-import "gbkmv/internal/gkmv"
+import (
+	"sort"
+
+	"gbkmv/internal/gkmv"
+)
 
 // sketchArena is the flat signature store: every record's G-KMV hash run
 // packed into one shared []float64 with a CSR-style offset table, replacing
@@ -51,6 +55,29 @@ func (a *sketchArena) appendRun(run []float64, complete bool) {
 	a.hashes = append(a.hashes, run...)
 	a.offsets = append(a.offsets, uint32(len(a.hashes)))
 	a.complete = append(a.complete, complete)
+}
+
+// trimToTau shortens every record's run to its prefix of values ≤ tau,
+// compacting the hash store in place and downgrading completeness where
+// values were evicted. Runs are ascending, so the surviving prefix is
+// exactly what a from-scratch resketch at the lower threshold would store —
+// this is what makes a threshold shrink free of any re-hashing.
+func (a *sketchArena) trimToTau(tau float64) {
+	n := len(a.complete)
+	w := uint32(0)
+	for i := 0; i < n; i++ {
+		run := a.hashes[a.offsets[i]:a.offsets[i+1]]
+		keep := sort.Search(len(run), func(j int) bool { return run[j] > tau })
+		if keep < len(run) && a.complete[i] {
+			a.complete[i] = false
+		}
+		// w never exceeds offsets[i], so this forward copy is safe.
+		copy(a.hashes[w:], run[:keep])
+		a.offsets[i] = w
+		w += uint32(keep)
+	}
+	a.offsets[n] = w
+	a.hashes = a.hashes[:w]
 }
 
 // valid reports whether the arena is structurally consistent for n records:

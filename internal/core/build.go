@@ -1,0 +1,429 @@
+package core
+
+import (
+	"math/bits"
+	"runtime"
+	"sort"
+	"sync"
+
+	"gbkmv/internal/hash"
+	"gbkmv/internal/selectk"
+)
+
+// This file is the hash-once build pipeline behind BuildIndex, legacy-load
+// rebuilds and journal-replay batch inserts. The previous write path hashed
+// every element occurrence up to three times (threshold selection, record
+// sketching, posting lists) and materialized an O(n) float slice just to
+// pick τ. The pipeline computes hash.UnitHash exactly once per occurrence
+// into per-worker chunks and reuses those hashes for every downstream stage:
+//
+//	hashChunks        one parallel pass: split non-buffered (element, hash)
+//	                  pairs per record into contiguous worker chunks, setting
+//	                  buffer-arena bits along the way
+//	kthSmallest       τ selection as a streaming histogram merge over the
+//	                  chunk hashes (exact order statistic, no O(n) copy)
+//	packArena         parallel filter+sort of each record's run into the
+//	                  flat sketch arena at precomputed offsets
+//	postingsFromChunks per-worker element-sharded posting maps, merged by
+//	                  element shard in parallel
+//
+// Every stage is deterministic in the record order alone: chunk boundaries
+// and worker counts never influence τ, the arena, the buffers or any posting
+// list (the differential tests in build_test.go pin this bit for bit).
+
+// forcedBuildWorkers overrides the build worker count when positive; it
+// exists for the worker-count-invariance tests and stays 0 in production.
+var forcedBuildWorkers int
+
+// buildWorkers returns the worker count for a pipeline stage over m records.
+func buildWorkers(m int) int {
+	w := forcedBuildWorkers
+	if w <= 0 {
+		w = runtime.GOMAXPROCS(0)
+	}
+	if w > m {
+		w = m
+	}
+	if w < 1 {
+		w = 1
+	}
+	return w
+}
+
+// buildChunk holds one worker's share of the hashed collection: the
+// non-buffered elements of records [lo, hi) flattened in record order, their
+// unit hashes (parallel slice), and the per-record end offsets.
+type buildChunk struct {
+	lo, hi int
+	elems  []hash.Element
+	hashes []float64
+	recEnd []int32 // recEnd[i-lo] = end offset of record i in elems/hashes
+}
+
+// runParallel invokes fn(i) for i in [0, n) across up to `workers`
+// goroutines, one contiguous index per call, and waits for completion.
+func runParallel(n, workers int, fn func(i int)) {
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		for i := 0; i < n; i++ {
+			fn(i)
+		}
+		return
+	}
+	var wg sync.WaitGroup
+	step := (n + workers - 1) / workers
+	for lo := 0; lo < n; lo += step {
+		hi := lo + step
+		if hi > n {
+			hi = n
+		}
+		wg.Add(1)
+		go func(lo, hi int) {
+			defer wg.Done()
+			for i := lo; i < hi; i++ {
+				fn(i)
+			}
+		}(lo, hi)
+	}
+	wg.Wait()
+}
+
+// hashChunks runs the single hashing pass of the pipeline: every record's
+// elements are split into buffered bits (written to the buffer arena when
+// fillBuffers is set) and non-buffered (element, hash) pairs collected into
+// per-worker chunks. This is the only place the write path calls
+// hash.UnitHash on the collection.
+func (ix *Index) hashChunks(fillBuffers bool) []buildChunk {
+	m := len(ix.records)
+	workers := buildWorkers(m)
+	step := (m + workers - 1) / workers
+	chunks := make([]buildChunk, 0, workers)
+	for lo := 0; lo < m; lo += step {
+		hi := lo + step
+		if hi > m {
+			hi = m
+		}
+		chunks = append(chunks, buildChunk{lo: lo, hi: hi})
+	}
+	seed := ix.opt.Seed
+	runParallel(len(chunks), workers, func(ci int) {
+		c := &chunks[ci]
+		total := 0
+		for i := c.lo; i < c.hi; i++ {
+			total += len(ix.records[i])
+		}
+		c.elems = make([]hash.Element, 0, total)
+		c.hashes = make([]float64, 0, total)
+		c.recEnd = make([]int32, 0, c.hi-c.lo)
+		for i := c.lo; i < c.hi; i++ {
+			for _, e := range ix.records[i] {
+				if bit, ok := ix.bitOf[e]; ok {
+					if fillBuffers {
+						ix.bufArena.set(i, bit)
+					}
+					continue
+				}
+				c.elems = append(c.elems, e)
+				c.hashes = append(c.hashes, hash.UnitHash(e, seed))
+			}
+			c.recEnd = append(c.recEnd, int32(len(c.elems)))
+		}
+	})
+	return chunks
+}
+
+// recRange returns the slice bounds of record i's pairs within the chunk.
+func (c *buildChunk) recRange(i int) (int32, int32) {
+	var start int32
+	if i > c.lo {
+		start = c.recEnd[i-c.lo-1]
+	}
+	return start, c.recEnd[i-c.lo]
+}
+
+// tauBuckets is the histogram resolution of kthSmallest. Unit hashes are
+// uniform on [0, upper), so the candidate bucket holds ~n/tauBuckets values.
+const tauBuckets = 4096
+
+// kthSmallest returns the k-th smallest value (1-based) of the multiset
+// formed by the parts, all of which must lie in [0, upper]. It replaces a
+// full concatenate-and-quickselect with a streaming two-pass histogram: each
+// part's bucket counts merge into one histogram, only the bucket containing
+// the target rank is materialized, and the exact order statistic is selected
+// inside it. The result depends only on the multiset and k — never on how
+// values are split across parts — so parallel and sequential builds agree
+// bit for bit.
+func kthSmallest(parts [][]float64, k int, upper float64) float64 {
+	if upper <= 0 {
+		return 0
+	}
+	scale := tauBuckets / upper
+	bucketOf := func(v float64) int {
+		b := int(v * scale)
+		if b >= tauBuckets {
+			b = tauBuckets - 1
+		}
+		return b
+	}
+	hists := make([][]int, len(parts))
+	runParallel(len(parts), buildWorkers(len(parts)), func(pi int) {
+		h := make([]int, tauBuckets)
+		for _, v := range parts[pi] {
+			h[bucketOf(v)]++
+		}
+		hists[pi] = h
+	})
+	before, target := 0, -1
+	for b := 0; b < tauBuckets; b++ {
+		in := 0
+		for _, h := range hists {
+			in += h[b]
+		}
+		if before+in >= k {
+			target = b
+			break
+		}
+		before += in
+	}
+	if target < 0 {
+		// k exceeds the multiset size; callers guard against this, but the
+		// largest value is the only sensible answer.
+		max := 0.0
+		for _, p := range parts {
+			for _, v := range p {
+				if v > max {
+					max = v
+				}
+			}
+		}
+		return max
+	}
+	var cands []float64
+	for _, p := range parts {
+		for _, v := range p {
+			if bucketOf(v) == target {
+				cands = append(cands, v)
+			}
+		}
+	}
+	return selectk.Float64s(cands, k-1-before)
+}
+
+// chunkHashParts projects the chunks onto their hash slices for kthSmallest.
+func chunkHashParts(chunks []buildChunk) [][]float64 {
+	parts := make([][]float64, len(chunks))
+	for i := range chunks {
+		parts[i] = chunks[i].hashes
+	}
+	return parts
+}
+
+// packArenaFromChunks fills the sketch arena from the hashed chunks under
+// the index's threshold: per-record run lengths are counted in parallel, the
+// offset table is one prefix sum, and each worker then filters and sorts its
+// records' runs directly into the shared hash store (disjoint ranges, no
+// synchronization). Sorting the filtered multiset reproduces exactly what
+// the sequential gkmv.BuildHashes produced.
+func (ix *Index) packArenaFromChunks(chunks []buildChunk) {
+	m := len(ix.records)
+	tau := ix.tau
+	a := &ix.arena
+	if cap(a.offsets) < m+1 {
+		a.offsets = make([]uint32, m+1)
+	} else {
+		a.offsets = a.offsets[:m+1]
+	}
+	if cap(a.complete) < m {
+		a.complete = make([]bool, m)
+	} else {
+		a.complete = a.complete[:m]
+	}
+	workers := buildWorkers(m)
+	runParallel(len(chunks), workers, func(ci int) {
+		c := &chunks[ci]
+		for i := c.lo; i < c.hi; i++ {
+			start, end := c.recRange(i)
+			n := 0
+			for _, v := range c.hashes[start:end] {
+				if v <= tau {
+					n++
+				}
+			}
+			a.offsets[i+1] = uint32(n) // run length; prefix-summed below
+			a.complete[i] = n == int(end-start)
+		}
+	})
+	a.offsets[0] = 0
+	for i := 0; i < m; i++ {
+		a.offsets[i+1] += a.offsets[i]
+	}
+	total := int(a.offsets[m])
+	if cap(a.hashes) < total {
+		a.hashes = make([]float64, total)
+	} else {
+		a.hashes = a.hashes[:total]
+	}
+	runParallel(len(chunks), workers, func(ci int) {
+		c := &chunks[ci]
+		for i := c.lo; i < c.hi; i++ {
+			start, end := c.recRange(i)
+			run := a.hashes[a.offsets[i]:a.offsets[i+1]:a.offsets[i+1]]
+			run = run[:0]
+			for _, v := range c.hashes[start:end] {
+				if v <= tau {
+					run = append(run, v)
+				}
+			}
+			sort.Float64s(run)
+		}
+	})
+}
+
+// Posting lists are sharded by element so that both the parallel merge at
+// build time and the threshold-shrink filter can own disjoint element
+// subsets without locking. The shard count caps merge parallelism; lookups
+// stay a single map access.
+const (
+	postingsShards    = 32
+	postingsShardMask = postingsShards - 1
+)
+
+// postingsTable is the element → record-id inverted index, sharded by
+// element id. Lists are ascending by record id.
+type postingsTable struct {
+	shards []map[hash.Element][]int32
+}
+
+// get returns element e's posting list (nil when absent).
+func (p *postingsTable) get(e hash.Element) []int32 {
+	if p.shards == nil {
+		return nil
+	}
+	return p.shards[uint(e)&postingsShardMask][e]
+}
+
+// add appends record id to element e's posting list.
+func (p *postingsTable) add(e hash.Element, id int32) {
+	s := p.shards[uint(e)&postingsShardMask]
+	s[e] = append(s[e], id)
+}
+
+// buildPostingsFromChunks constructs the inverted lists from the hashed
+// chunks: each chunk worker scatters its records' qualifying elements into
+// element-sharded maps, then one merge worker per shard concatenates the
+// chunk maps in chunk order. Chunks cover ascending record ranges, so every
+// merged list is ascending by record id — identical to a sequential scan.
+func (ix *Index) buildPostingsFromChunks(chunks []buildChunk) {
+	tau := ix.tau
+	workers := buildWorkers(len(ix.records))
+	chunkShards := make([][]map[hash.Element][]int32, len(chunks))
+	runParallel(len(chunks), workers, func(ci int) {
+		c := &chunks[ci]
+		shards := make([]map[hash.Element][]int32, postingsShards)
+		for s := range shards {
+			shards[s] = make(map[hash.Element][]int32)
+		}
+		for i := c.lo; i < c.hi; i++ {
+			start, end := c.recRange(i)
+			for j := start; j < end; j++ {
+				if c.hashes[j] <= tau {
+					e := c.elems[j]
+					s := shards[uint(e)&postingsShardMask]
+					s[e] = append(s[e], int32(i))
+				}
+			}
+		}
+		chunkShards[ci] = shards
+	})
+	final := make([]map[hash.Element][]int32, postingsShards)
+	runParallel(postingsShards, workers, func(s int) {
+		size := 0
+		for _, shards := range chunkShards {
+			size += len(shards[s])
+		}
+		merged := make(map[hash.Element][]int32, size)
+		for _, shards := range chunkShards {
+			for e, ids := range shards[s] {
+				merged[e] = append(merged[e], ids...)
+			}
+		}
+		final[s] = merged
+	})
+	ix.postings = postingsTable{shards: final}
+}
+
+// filterPostings drops every element whose hash exceeds the (newly shrunk)
+// threshold, one hash per distinct surviving key instead of one per
+// occurrence. Lists of surviving elements are untouched, so the result is
+// exactly what a from-scratch rebuild at the new τ would produce for the
+// same records.
+func (ix *Index) filterPostings(tau float64) {
+	seed := ix.opt.Seed
+	runParallel(postingsShards, buildWorkers(postingsShards), func(s int) {
+		shard := ix.postings.shards[s]
+		for e := range shard {
+			if hash.UnitHash(e, seed) > tau {
+				delete(shard, e)
+			}
+		}
+	})
+}
+
+// buildBufferPostings constructs the per-bit record lists and the cached
+// rarity order of the prefix filter from the buffer arena. Workers own
+// disjoint word columns of the arena, so all lists build concurrently and
+// each stays ascending by record id.
+func (ix *Index) buildBufferPostings() {
+	r := ix.bufferBits
+	ix.bufferPostings = make([][]int32, r)
+	if r > 0 {
+		m := len(ix.records)
+		stride := ix.bufArena.stride
+		runParallel(stride, buildWorkers(stride), func(w int) {
+			for i := 0; i < m; i++ {
+				word := ix.bufArena.words[i*stride+w]
+				for word != 0 {
+					bit := w*bufWordBits + bits.TrailingZeros64(word)
+					word &= word - 1
+					if bit < r {
+						ix.bufferPostings[bit] = append(ix.bufferPostings[bit], int32(i))
+					}
+				}
+			}
+		})
+	}
+	ix.bitOrder = make([]int32, r)
+	for i := range ix.bitOrder {
+		ix.bitOrder[i] = int32(i)
+	}
+	sort.Slice(ix.bitOrder, func(a, b int) bool {
+		la := len(ix.bufferPostings[ix.bitOrder[a]])
+		lb := len(ix.bufferPostings[ix.bitOrder[b]])
+		if la != lb {
+			return la < lb
+		}
+		return ix.bitOrder[a] < ix.bitOrder[b]
+	})
+}
+
+// rebuildAll derives every signature structure — buffer arena, sketch arena,
+// posting lists — from (records, bitOf, τ) through the hash-once pipeline.
+// Used by the legacy v1 load; BuildIndex runs the same stages around its τ
+// selection.
+func (ix *Index) rebuildAll() {
+	ix.bufArena.init(len(ix.records), ix.bufferBits)
+	chunks := ix.hashChunks(true)
+	ix.packArenaFromChunks(chunks)
+	ix.buildPostingsFromChunks(chunks)
+	ix.buildBufferPostings()
+}
+
+// rebuildPostings derives only the inverted lists (one hashing pass), for
+// snapshot loads that restore the arenas directly off the wire.
+func (ix *Index) rebuildPostings() {
+	chunks := ix.hashChunks(false)
+	ix.buildPostingsFromChunks(chunks)
+	ix.buildBufferPostings()
+}

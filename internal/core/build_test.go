@@ -1,0 +1,309 @@
+package core
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+
+	"gbkmv/internal/bitmap"
+	"gbkmv/internal/dataset"
+	"gbkmv/internal/gkmv"
+	"gbkmv/internal/hash"
+)
+
+// Differential tests for the hash-once build pipeline: the parallel build
+// must be bit-identical — τ, arena, buffers, posting lists, bit order — to
+// the sequential seed algorithm it replaced (threshold from a sorted O(n)
+// hash slice, per-record gkmv.BuildHashes, rehashing buildPostings),
+// regardless of seed or worker count.
+
+// refState is the output of the pre-pipeline sequential build, derived from
+// the index's record set and buffered-element choice (both of which are
+// seed-deterministic and shared with the pipeline).
+type refState struct {
+	tau            float64
+	runs           [][]float64
+	complete       []bool
+	buffers        []*bitmap.Bitmap
+	postings       map[hash.Element][]int32
+	bufferPostings [][]int32
+	bitOrder       []int32
+}
+
+// refBuild replays the sequential seed algorithm over the index's records at
+// the given τ (pass tau < 0 to also re-derive τ the old way, from the full
+// sorted slice of non-buffered occurrence hashes and the index's budget).
+func refBuild(ix *Index, tau float64) refState {
+	seed := ix.opt.Seed
+	if tau < 0 {
+		var all []float64
+		for _, rec := range ix.records {
+			for _, e := range rec {
+				if _, buffered := ix.bitOf[e]; buffered {
+					continue
+				}
+				all = append(all, hash.UnitHash(e, seed))
+			}
+		}
+		gBudget := ix.budget - bufferUnits(len(ix.records), ix.bufferBits)
+		if gBudget >= len(all) {
+			tau = 1
+		} else {
+			sort.Float64s(all)
+			tau = all[gBudget-1]
+		}
+	}
+	st := refState{tau: tau, postings: map[hash.Element][]int32{}}
+	for i, rec := range ix.records {
+		var buf *bitmap.Bitmap
+		if ix.bufferBits > 0 {
+			buf = bitmap.New(ix.bufferBits)
+		}
+		rest := rec[:0:0]
+		for _, e := range rec {
+			if bit, ok := ix.bitOf[e]; ok {
+				buf.Set(bit)
+				continue
+			}
+			rest = append(rest, e)
+		}
+		run, complete := gkmv.BuildHashes(rest, tau, seed)
+		st.runs = append(st.runs, run)
+		st.complete = append(st.complete, complete)
+		st.buffers = append(st.buffers, buf)
+		for _, e := range rest {
+			if hash.UnitHash(e, seed) <= tau {
+				st.postings[e] = append(st.postings[e], int32(i))
+			}
+		}
+	}
+	st.bufferPostings = make([][]int32, ix.bufferBits)
+	for i, buf := range st.buffers {
+		if buf == nil {
+			continue
+		}
+		for _, bit := range buf.Ones() {
+			st.bufferPostings[bit] = append(st.bufferPostings[bit], int32(i))
+		}
+	}
+	st.bitOrder = make([]int32, ix.bufferBits)
+	for i := range st.bitOrder {
+		st.bitOrder[i] = int32(i)
+	}
+	sort.Slice(st.bitOrder, func(a, b int) bool {
+		la := len(st.bufferPostings[st.bitOrder[a]])
+		lb := len(st.bufferPostings[st.bitOrder[b]])
+		if la != lb {
+			return la < lb
+		}
+		return st.bitOrder[a] < st.bitOrder[b]
+	})
+	return st
+}
+
+// checkAgainstRef asserts every signature structure of ix equals the
+// sequential reference, bit for bit.
+func checkAgainstRef(t *testing.T, ix *Index, ref refState, label string) {
+	t.Helper()
+	if ix.tau != ref.tau {
+		t.Fatalf("%s: τ = %v, reference %v", label, ix.tau, ref.tau)
+	}
+	for i := range ix.records {
+		got := ix.arena.view(i)
+		run := got.Hashes()
+		if len(run) != len(ref.runs[i]) {
+			t.Fatalf("%s: record %d run length %d, reference %d", label, i, len(run), len(ref.runs[i]))
+		}
+		for j := range run {
+			if run[j] != ref.runs[i][j] {
+				t.Fatalf("%s: record %d hash %d = %v, reference %v", label, i, j, run[j], ref.runs[i][j])
+			}
+		}
+		if got.Complete() != ref.complete[i] {
+			t.Fatalf("%s: record %d complete = %v, reference %v", label, i, got.Complete(), ref.complete[i])
+		}
+		if ix.bufferBits > 0 {
+			for bit := 0; bit < ix.bufferBits; bit++ {
+				if ix.bufArena.get(i, bit) != ref.buffers[i].Get(bit) {
+					t.Fatalf("%s: record %d buffer bit %d differs", label, i, bit)
+				}
+			}
+		}
+	}
+	gotKeys := 0
+	for _, shard := range ix.postings.shards {
+		gotKeys += len(shard)
+		for e, ids := range shard {
+			want := ref.postings[e]
+			if len(ids) != len(want) {
+				t.Fatalf("%s: postings[%d] has %d ids, reference %d", label, e, len(ids), len(want))
+			}
+			for j := range ids {
+				if ids[j] != want[j] {
+					t.Fatalf("%s: postings[%d][%d] = %d, reference %d", label, e, j, ids[j], want[j])
+				}
+			}
+		}
+	}
+	if gotKeys != len(ref.postings) {
+		t.Fatalf("%s: %d posting keys, reference %d", label, gotKeys, len(ref.postings))
+	}
+	if len(ix.bufferPostings) != len(ref.bufferPostings) {
+		t.Fatalf("%s: %d buffer postings, reference %d", label, len(ix.bufferPostings), len(ref.bufferPostings))
+	}
+	for bit := range ix.bufferPostings {
+		got, want := ix.bufferPostings[bit], ref.bufferPostings[bit]
+		if len(got) != len(want) {
+			t.Fatalf("%s: bufferPostings[%d] has %d ids, reference %d", label, bit, len(got), len(want))
+		}
+		for j := range got {
+			if got[j] != want[j] {
+				t.Fatalf("%s: bufferPostings[%d][%d] = %d, reference %d", label, bit, j, got[j], want[j])
+			}
+		}
+	}
+	for i := range ix.bitOrder {
+		if ix.bitOrder[i] != ref.bitOrder[i] {
+			t.Fatalf("%s: bitOrder[%d] = %d, reference %d", label, i, ix.bitOrder[i], ref.bitOrder[i])
+		}
+	}
+}
+
+func buildTestDataset(t *testing.T, seed int64, m int) *dataset.Dataset {
+	t.Helper()
+	d, err := dataset.Synthetic(dataset.SyntheticConfig{
+		NumRecords: m, Universe: 6000,
+		AlphaFreq: 1.1, AlphaSize: 2.3,
+		MinSize: 15, MaxSize: 250,
+	}, seed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return d
+}
+
+func TestBuildMatchesSequentialReference(t *testing.T) {
+	for _, seed := range []int64{7, 404, 90210} {
+		for _, opt := range []Options{
+			{BudgetFraction: 0.1, BufferBits: AutoBuffer, Seed: uint64(seed)},
+			{BudgetFraction: 0.08, BufferBits: 0, Seed: testSeed},
+			{BudgetFraction: 0.15, BufferBits: 64, Seed: testSeed},
+		} {
+			d := buildTestDataset(t, seed, 220)
+			ix, err := BuildIndex(d, opt)
+			if err != nil {
+				t.Fatal(err)
+			}
+			checkAgainstRef(t, ix, refBuild(ix, -1), "fresh build")
+		}
+	}
+}
+
+func TestBuildWorkerCountInvariance(t *testing.T) {
+	defer func() { forcedBuildWorkers = 0 }()
+	d := buildTestDataset(t, 33, 310)
+	forcedBuildWorkers = 1
+	seq, err := BuildIndex(d, defaultOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref := refBuild(seq, -1)
+	for _, w := range []int{2, 3, 5, 8, 13, 64} {
+		forcedBuildWorkers = w
+		ix, err := BuildIndex(d, defaultOpts())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if ix.tau != seq.tau {
+			t.Fatalf("workers=%d: τ = %v, sequential %v", w, ix.tau, seq.tau)
+		}
+		checkAgainstRef(t, ix, ref, "workers")
+	}
+}
+
+func TestAddRecordsShrinkMatchesResketch(t *testing.T) {
+	// A batch insert that forces a threshold shrink now trims arena runs and
+	// filters posting lists in place; the result must equal a from-scratch
+	// sequential resketch of the grown collection at the shrunken τ.
+	d := buildTestDataset(t, 55, 200)
+	ix, err := BuildIndex(d, defaultOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	tauBefore := ix.Tau()
+	extra := buildTestDataset(t, 56, 140)
+	ix.AddRecords(extra.Records)
+	if ix.Tau() >= tauBefore {
+		t.Fatalf("batch insert did not shrink τ (%v → %v); fixture too small", tauBefore, ix.Tau())
+	}
+	ref := refBuild(ix, ix.Tau())
+	// The insert path appends new records' buffer postings after existing
+	// entries without refreshing the cached rarity order; align the
+	// reference's order with the documented staleness before comparing.
+	ref.bitOrder = append([]int32(nil), ix.bitOrder...)
+	checkAgainstRef(t, ix, ref, "post-shrink")
+
+	// Sequential inserts of the same records must converge on the identical
+	// state (journal-replay determinism).
+	forcedBuildWorkers = 1
+	defer func() { forcedBuildWorkers = 0 }()
+	seq, err := BuildIndex(buildTestDataset(t, 55, 200), defaultOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, rec := range extra.Records {
+		seq.AddRecord(rec)
+	}
+	if seq.Tau() != ix.Tau() {
+		t.Fatalf("sequential inserts τ = %v, batch %v", seq.Tau(), ix.Tau())
+	}
+	checkAgainstRef(t, seq, ref, "sequential-inserts")
+}
+
+func TestBuildTauShortCircuit(t *testing.T) {
+	// With the budget covering every remaining occurrence, τ must be exactly
+	// 1 (decided from the occurrence count, no order statistic) and every
+	// sketch complete.
+	d := buildTestDataset(t, 11, 80)
+	ix, err := BuildIndex(d, Options{BudgetFraction: 1.0, BufferBits: 0, Seed: testSeed})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ix.Tau() != 1 {
+		t.Fatalf("τ = %v, want 1", ix.Tau())
+	}
+	for i := range ix.records {
+		if !ix.arena.view(i).Complete() {
+			t.Fatalf("record %d not complete at τ=1", i)
+		}
+	}
+}
+
+func TestKthSmallestMatchesSort(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	for trial := 0; trial < 30; trial++ {
+		n := 1 + rng.Intn(3000)
+		upper := []float64{1, 0.37, 0.004}[trial%3]
+		vals := make([]float64, n)
+		for i := range vals {
+			vals[i] = rng.Float64() * upper
+			if rng.Intn(4) == 0 && i > 0 {
+				vals[i] = vals[rng.Intn(i)] // inject ties
+			}
+		}
+		// Split into random parts, as the per-worker chunks would.
+		var parts [][]float64
+		for lo := 0; lo < n; {
+			hi := lo + 1 + rng.Intn(n-lo)
+			parts = append(parts, vals[lo:hi])
+			lo = hi
+		}
+		sorted := append([]float64(nil), vals...)
+		sort.Float64s(sorted)
+		for _, k := range []int{1, 1 + rng.Intn(n), n} {
+			if got, want := kthSmallest(parts, k, upper), sorted[k-1]; got != want {
+				t.Fatalf("trial %d: k=%d of %d: got %v, want %v", trial, k, n, got, want)
+			}
+		}
+	}
+}

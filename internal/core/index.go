@@ -4,7 +4,6 @@ import (
 	"errors"
 	"fmt"
 	"math"
-	"runtime"
 	"sort"
 	"sync"
 
@@ -13,7 +12,6 @@ import (
 	"gbkmv/internal/gkmv"
 	"gbkmv/internal/hash"
 	"gbkmv/internal/kmv"
-	"gbkmv/internal/selectk"
 )
 
 // Index is the GB-KMV sketch of a dataset (Algorithm 1): for every record a
@@ -26,24 +24,27 @@ type Index struct {
 
 	bufferElems []hash.Element       // E_H in decreasing frequency order
 	bitOf       map[hash.Element]int // element → buffer bit position
-	buffers     []*bitmap.Bitmap     // H_X per record (nil when r == 0)
 
-	// arena holds every record's G-KMV hash run in one flat CSR layout; see
-	// sketchArena. All per-record sketch reads go through arena.view(i).
-	arena sketchArena
+	// bufArena holds every record's H_X buffer in one flat word store (see
+	// bufferArena); arena holds every record's G-KMV hash run in one flat
+	// CSR layout (see sketchArena). All per-record signature reads go
+	// through bufArena.record(i) / arena.view(i).
+	bufArena bufferArena
+	arena    sketchArena
 
 	tau        float64
 	bufferBits int // r
 	budget     int // in signature units
 
-	// Inverted index for accelerated search: postings[e] lists the records
-	// whose G-KMV sketch contains element e.
-	postings map[hash.Element][]int32
+	// Inverted index for accelerated search: postings.get(e) lists the
+	// records whose G-KMV sketch contains element e (element-sharded; see
+	// postingsTable).
+	postings postingsTable
 	// bufferPostings[bit] lists the records whose buffer has that bit set.
 	bufferPostings [][]int32
 	// bitOrder lists all buffer bits sorted by ascending posting-list
-	// length, refreshed by buildPostings. Search's prefix filter scans the
-	// query's rarest bits in this cached order instead of re-sorting per
+	// length, refreshed by buildBufferPostings. Search's prefix filter scans
+	// the query's rarest bits in this cached order instead of re-sorting per
 	// query; inserts may leave it slightly stale, which affects only which
 	// (equally correct) candidate superset is generated, never the results.
 	bitOrder []int32
@@ -53,7 +54,9 @@ type Index struct {
 	scratchPool sync.Pool
 }
 
-// BuildIndex constructs the GB-KMV index of the dataset (Algorithm 1).
+// BuildIndex constructs the GB-KMV index of the dataset (Algorithm 1)
+// through the hash-once pipeline in build.go: one parallel hashing pass
+// feeds threshold selection, the signature arenas and the posting lists.
 func BuildIndex(d *dataset.Dataset, opt Options) (*Index, error) {
 	opt = opt.withDefaults()
 	if err := opt.validate(); err != nil {
@@ -97,154 +100,49 @@ func BuildIndex(d *dataset.Dataset, opt Options) (*Index, error) {
 		budget:     budget,
 	}
 
-	// Line 2: E_H ← top r most frequent elements.
-	ix.bufferElems = d.TopFrequent(r)
+	// Line 2: E_H ← top r most frequent elements. The frequency table is
+	// computed once and shared with the τ short-circuit below.
+	freq := d.Frequencies()
+	ix.bufferElems = dataset.TopFrequentFrom(freq, r)
 	ix.bitOf = make(map[hash.Element]int, len(ix.bufferElems))
+	bufferedOccurrences := 0
 	for i, e := range ix.bufferElems {
 		ix.bitOf[e] = i
+		bufferedOccurrences += freq[e]
 	}
+
+	gBudget := budget - bufferUnits(m, r)
+	if gBudget <= 0 {
+		return nil, errors.New("core: no budget left for the G-KMV part")
+	}
+
+	// The single hashing pass: buffer bits into the flat arena, every
+	// non-buffered (element, hash) pair into per-worker chunks.
+	ix.bufArena.init(m, r)
+	chunks := ix.hashChunks(true)
 
 	// Line 3: the global threshold τ over the remaining elements, chosen so
-	// the G-KMV part fits the leftover budget exactly.
-	gBudget := budget - bufferUnits(m, r)
-	tau, err := ix.thresholdForRemaining(d, gBudget)
-	if err != nil {
-		return nil, err
+	// the G-KMV part fits the leftover budget exactly. When the budget
+	// covers every remaining occurrence — decidable from the occurrence
+	// count alone — τ is 1 and no order statistic is needed.
+	if remaining := n - bufferedOccurrences; gBudget >= remaining {
+		ix.tau = 1
+	} else {
+		ix.tau = kthSmallest(chunkHashParts(chunks), gBudget, 1)
 	}
-	ix.tau = tau
 
-	// Lines 4-6: per-record buffer and sketch, built in parallel (each
-	// record's signature is independent) and packed into the flat arena.
-	ix.sketchAll()
-	ix.buildPostings()
+	// Lines 4-6: per-record sketch runs packed into the arena, then the
+	// inverted lists — all reusing the chunk hashes, nothing rehashed.
+	ix.packArenaFromChunks(chunks)
+	ix.buildPostingsFromChunks(chunks)
+	ix.buildBufferPostings()
 	return ix, nil
-}
-
-// sketchAll rebuilds buffers and the sketch arena for every record: the
-// per-record runs are computed concurrently into temporaries, then packed
-// into the contiguous store in record order.
-func (ix *Index) sketchAll() {
-	m := len(ix.records)
-	runs := make([][]float64, m)
-	complete := make([]bool, m)
-	buffers := make([]*bitmap.Bitmap, m)
-	workers := runtime.GOMAXPROCS(0)
-	if workers > m {
-		workers = m
-	}
-	var wg sync.WaitGroup
-	chunk := (m + workers - 1) / workers
-	for w := 0; w < workers; w++ {
-		lo := w * chunk
-		hi := lo + chunk
-		if hi > m {
-			hi = m
-		}
-		if lo >= hi {
-			break
-		}
-		wg.Add(1)
-		go func(lo, hi int) {
-			defer wg.Done()
-			for i := lo; i < hi; i++ {
-				buffers[i], runs[i], complete[i] = ix.sketchRecord(ix.records[i])
-			}
-		}(lo, hi)
-	}
-	wg.Wait()
-	total := 0
-	for _, run := range runs {
-		total += len(run)
-	}
-	ix.buffers = buffers
-	ix.arena.reset(m, total)
-	for i, run := range runs {
-		ix.arena.appendRun(run, complete[i])
-	}
 }
 
 // bufferUnits is the budget charge of an r-bit buffer across m records
 // (r/32 units each, as in the paper's accounting).
 func bufferUnits(m, r int) int {
 	return m * r / BufferUnitBits
-}
-
-// thresholdForRemaining selects the largest τ such that the number of stored
-// hash values over elements outside E_H does not exceed gBudget.
-func (ix *Index) thresholdForRemaining(d *dataset.Dataset, gBudget int) (float64, error) {
-	if gBudget <= 0 {
-		return 0, errors.New("core: no budget left for the G-KMV part")
-	}
-	all := make([]float64, 0, d.TotalElements())
-	for _, rec := range d.Records {
-		for _, e := range rec {
-			if _, buffered := ix.bitOf[e]; buffered {
-				continue
-			}
-			all = append(all, hash.UnitHash(e, ix.opt.Seed))
-		}
-	}
-	if gBudget >= len(all) {
-		return 1, nil
-	}
-	// Only one order statistic is needed: quickselect instead of a full sort.
-	return selectk.Float64s(all, gBudget-1), nil
-}
-
-// sketchRecord builds the (H_X, L_X) pair for one record, returning the
-// sketch as a raw ascending hash run ready for arena packing.
-func (ix *Index) sketchRecord(rec dataset.Record) (*bitmap.Bitmap, []float64, bool) {
-	var buf *bitmap.Bitmap
-	if ix.bufferBits > 0 {
-		buf = bitmap.New(ix.bufferBits)
-	}
-	rest := make([]hash.Element, 0, len(rec))
-	for _, e := range rec {
-		if bit, ok := ix.bitOf[e]; ok {
-			buf.Set(bit)
-			continue
-		}
-		rest = append(rest, e)
-	}
-	run, complete := gkmv.BuildHashes(rest, ix.tau, ix.opt.Seed)
-	return buf, run, complete
-}
-
-// buildPostings constructs the inverted lists used by Search, plus the
-// cached length-sorted buffer-bit order the prefix filter scans.
-func (ix *Index) buildPostings() {
-	ix.postings = make(map[hash.Element][]int32)
-	for i, rec := range ix.records {
-		for _, e := range rec {
-			if _, buffered := ix.bitOf[e]; buffered {
-				continue
-			}
-			if hash.UnitHash(e, ix.opt.Seed) <= ix.tau {
-				ix.postings[e] = append(ix.postings[e], int32(i))
-			}
-		}
-	}
-	ix.bufferPostings = make([][]int32, ix.bufferBits)
-	for i, buf := range ix.buffers {
-		if buf == nil {
-			continue
-		}
-		for _, bit := range buf.Ones() {
-			ix.bufferPostings[bit] = append(ix.bufferPostings[bit], int32(i))
-		}
-	}
-	ix.bitOrder = make([]int32, ix.bufferBits)
-	for i := range ix.bitOrder {
-		ix.bitOrder[i] = int32(i)
-	}
-	sort.Slice(ix.bitOrder, func(a, b int) bool {
-		la := len(ix.bufferPostings[ix.bitOrder[a]])
-		lb := len(ix.bufferPostings[ix.bitOrder[b]])
-		if la != lb {
-			return la < lb
-		}
-		return ix.bitOrder[a] < ix.bitOrder[b]
-	})
 }
 
 // NumRecords returns the number of indexed records.
@@ -276,16 +174,18 @@ func (ix *Index) UsedUnits() int {
 }
 
 // SizeBytes returns the in-memory footprint of the signatures (buffers +
-// sketch arena), excluding the retained records and inverted lists.
+// sketch arena), excluding the retained records and inverted lists. O(1):
+// both halves live in flat arenas whose lengths are the answer.
 func (ix *Index) SizeBytes() int {
-	b := 0
-	for _, buf := range ix.buffers {
-		if buf != nil {
-			b += buf.SizeBytes()
-		}
-	}
-	return b + 8*ix.arena.units()
+	return ix.BufferSizeBytes() + ix.SketchSizeBytes()
 }
+
+// BufferSizeBytes returns the footprint of the frequent-element buffers
+// alone, O(1).
+func (ix *Index) BufferSizeBytes() int { return ix.bufArena.sizeBytes() }
+
+// SketchSizeBytes returns the footprint of the G-KMV hash store alone, O(1).
+func (ix *Index) SketchSizeBytes() int { return 8 * ix.arena.units() }
 
 // QuerySig is the GB-KMV sketch of a query record, reusable across many
 // Estimate/Search calls.
@@ -364,14 +264,18 @@ func (sig *QuerySig) EstimatedSize() float64 {
 	return est
 }
 
+// bufferOverlap returns |H_Q ∩ H_X_i|, the exact buffered intersection.
+func (ix *Index) bufferOverlap(sig *QuerySig, i int) int {
+	if sig.buffer == nil || ix.bufArena.stride == 0 {
+		return 0
+	}
+	return sig.buffer.AndCountWords(ix.bufArena.record(i))
+}
+
 // EstimateIntersection estimates |Q ∩ X_i| by Equation 27:
 // |H_Q ∩ H_X| + D̂∩^GKMV.
 func (ix *Index) EstimateIntersection(sig *QuerySig, i int) float64 {
-	exact := 0
-	if sig.buffer != nil && ix.buffers[i] != nil {
-		exact = sig.buffer.AndCount(ix.buffers[i])
-	}
-	return float64(exact) + gkmv.IntersectViews(sig.sketch, ix.arena.view(i)).DInter
+	return float64(ix.bufferOverlap(sig, i)) + gkmv.IntersectViews(sig.sketch, ix.arena.view(i)).DInter
 }
 
 // EstimateWithError returns the containment estimate together with an
@@ -384,10 +288,7 @@ func (ix *Index) EstimateWithError(sig *QuerySig, i int) (est, stderr float64) {
 	if sig.Size <= 0 {
 		return 0, 0
 	}
-	exact := 0
-	if sig.buffer != nil && ix.buffers[i] != nil {
-		exact = sig.buffer.AndCount(ix.buffers[i])
-	}
+	exact := ix.bufferOverlap(sig, i)
 	res := gkmv.IntersectViews(sig.sketch, ix.arena.view(i))
 	est = (float64(exact) + res.DInter) / float64(sig.Size)
 	if est > 1 {

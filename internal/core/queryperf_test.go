@@ -87,8 +87,8 @@ func refSketches(ix *Index) []*gkmv.Sketch {
 // refEstimate is Equation 27 over the slice-of-sketches reference store.
 func refEstimate(ix *Index, refs []*gkmv.Sketch, sig *QuerySig, refQ *gkmv.Sketch, i int) float64 {
 	exact := 0
-	if sig.buffer != nil && ix.buffers[i] != nil {
-		exact = sig.buffer.AndCount(ix.buffers[i])
+	if sig.buffer != nil && ix.bufArena.stride > 0 {
+		exact = sig.buffer.AndCountWords(ix.bufArena.record(i))
 	}
 	return float64(exact) + gkmv.Intersect(refQ, refs[i]).DInter
 }
@@ -240,6 +240,88 @@ func TestLoadLegacyV1Snapshot(t *testing.T) {
 				t.Fatalf("legacy load: result %d differs", i)
 			}
 		}
+	}
+}
+
+func TestLoadV2Snapshot(t *testing.T) {
+	// A version-2 stream carries the sketch arena but no buffer arena; Load
+	// must rebuild the buffers from the records and answer identically to
+	// the index that wrote it.
+	d := testDataset(t, 150)
+	ix, err := BuildIndex(d, defaultOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(indexWire{
+		Version:       2,
+		Opt:           ix.opt,
+		Records:       ix.records,
+		BufferElems:   ix.bufferElems,
+		Tau:           ix.tau,
+		BufferBits:    ix.bufferBits,
+		Budget:        ix.budget,
+		ArenaHashes:   ix.arena.hashes,
+		ArenaOffsets:  ix.arena.offsets,
+		ArenaComplete: ix.arena.complete,
+	}); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := Load(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(loaded.bufArena.words) != len(ix.bufArena.words) {
+		t.Fatalf("v2 load rebuilt %d buffer words, want %d", len(loaded.bufArena.words), len(ix.bufArena.words))
+	}
+	for i, w := range ix.bufArena.words {
+		if loaded.bufArena.words[i] != w {
+			t.Fatalf("v2 load: buffer word %d differs", i)
+		}
+	}
+	for _, q := range d.SampleQueries(10, 9) {
+		a, b := ix.Search(q, 0.5), loaded.Search(q, 0.5)
+		if len(a) != len(b) {
+			t.Fatalf("v2 load: %d vs %d results", len(a), len(b))
+		}
+		for i := range a {
+			if a[i] != b[i] {
+				t.Fatalf("v2 load: result %d differs", i)
+			}
+		}
+	}
+}
+
+func TestLoadRejectsCorruptBufferArena(t *testing.T) {
+	d := testDataset(t, 40)
+	ix, err := BuildIndex(d, Options{BudgetFraction: 0.2, BufferBits: 64, Seed: testSeed})
+	if err != nil {
+		t.Fatal(err)
+	}
+	corrupt := func(mutate func(*indexWire)) error {
+		w := indexWire{
+			Version: wireVersion, Opt: ix.opt, Records: ix.records,
+			BufferElems: ix.bufferElems, Tau: ix.tau,
+			BufferBits: ix.bufferBits, Budget: ix.budget,
+			ArenaHashes:   append([]float64(nil), ix.arena.hashes...),
+			ArenaOffsets:  append([]uint32(nil), ix.arena.offsets...),
+			ArenaComplete: append([]bool(nil), ix.arena.complete...),
+			BufWords:      append([]uint64(nil), ix.bufArena.words...),
+			BufStride:     ix.bufArena.stride,
+		}
+		mutate(&w)
+		var buf bytes.Buffer
+		if err := gob.NewEncoder(&buf).Encode(w); err != nil {
+			t.Fatal(err)
+		}
+		_, err := Load(&buf)
+		return err
+	}
+	if err := corrupt(func(w *indexWire) { w.BufWords = w.BufWords[:len(w.BufWords)-1] }); err == nil {
+		t.Error("truncated buffer arena accepted")
+	}
+	if err := corrupt(func(w *indexWire) { w.BufStride = 7 }); err == nil {
+		t.Error("mismatched buffer stride accepted")
 	}
 }
 

@@ -2,10 +2,10 @@ package core
 
 import (
 	"slices"
+	"sort"
 
 	"gbkmv/internal/dataset"
 	"gbkmv/internal/hash"
-	"gbkmv/internal/selectk"
 )
 
 // Search returns the ids of all records whose estimated containment
@@ -48,7 +48,7 @@ func (ix *Index) searchSigWith(sig *QuerySig, tstar float64, sc *searchScratch) 
 	sc.nextEpoch()
 	sc.touched = sc.touched[:0]
 	for _, e := range sig.rest {
-		for _, id := range ix.postings[e] {
+		for _, id := range ix.postings.get(e) {
 			sc.visit(id)
 			sc.counts[id]++
 		}
@@ -59,10 +59,10 @@ func (ix *Index) searchSigWith(sig *QuerySig, tstar float64, sc *searchScratch) 
 	// prefix-filter style — it must contain one of any fixed (nq − c + 1)
 	// of them. Scanning the nq−c+1 *rarest* query bits keeps this exact
 	// while skipping the head elements' huge lists; the rarity order comes
-	// from the index's cached bitOrder (refreshed by buildPostings), so no
-	// per-query sort is paid. A slightly stale order after inserts changes
-	// only which equally-valid candidate superset is scanned, never the
-	// final results.
+	// from the index's cached bitOrder (refreshed by buildBufferPostings),
+	// so no per-query sort is paid. A slightly stale order after inserts
+	// changes only which equally-valid candidate superset is scanned, never
+	// the final results.
 	if sig.buffer != nil {
 		nq := sig.buffer.Count()
 		c := int(theta)
@@ -95,10 +95,7 @@ func (ix *Index) searchSigWith(sig *QuerySig, tstar float64, sc *searchScratch) 
 	}
 	out := make([]int, 0, len(sc.touched))
 	for _, id := range sc.touched {
-		need := theta
-		if sig.buffer != nil && ix.buffers[id] != nil {
-			need -= float64(sig.buffer.AndCount(ix.buffers[id]))
-		}
+		need := theta - float64(ix.bufferOverlap(sig, int(id)))
 		if need <= 0 {
 			// The exact buffer part alone meets the threshold.
 			out = append(out, int(id))
@@ -141,8 +138,11 @@ func (ix *Index) AddRecord(rec dataset.Record) {
 }
 
 // AddRecords appends a batch of records, paying the over-budget threshold
-// shrink (a full resketch of the index) at most once for the whole batch
-// instead of once per record.
+// shrink at most once for the whole batch instead of once per record. The
+// path is hash-once end to end: each new element is hashed exactly once, the
+// pairs feed both the arena run and the posting lists, and a shrink trims
+// existing runs in place (arena prefixes) instead of resketching the
+// collection.
 func (ix *Index) AddRecords(recs []dataset.Record) {
 	if len(recs) == 0 {
 		// Never mutate on a no-op: a residual over-budget state (hash ties
@@ -151,50 +151,68 @@ func (ix *Index) AddRecords(recs []dataset.Record) {
 		return
 	}
 	base := len(ix.records)
-	for _, rec := range recs {
+	// One hashing pass per new record; the (element, hash) pairs are kept so
+	// the postings update below never rehashes.
+	newElems := make([][]hash.Element, len(recs))
+	newHashes := make([][]float64, len(recs))
+	ix.bufArena.grow(len(recs))
+	for ri, rec := range recs {
 		ix.records = append(ix.records, rec)
-		buf, run, complete := ix.sketchRecord(rec)
-		ix.buffers = append(ix.buffers, buf)
-		ix.arena.appendRun(run, complete)
+		elems := make([]hash.Element, 0, len(rec))
+		hashes := make([]float64, 0, len(rec))
+		for _, e := range rec {
+			if bit, ok := ix.bitOf[e]; ok {
+				ix.bufArena.set(base+ri, bit)
+				continue
+			}
+			elems = append(elems, e)
+			hashes = append(hashes, hash.UnitHash(e, ix.opt.Seed))
+		}
+		run := make([]float64, 0, len(hashes))
+		for _, v := range hashes {
+			if v <= ix.tau {
+				run = append(run, v)
+			}
+		}
+		sort.Float64s(run)
+		ix.arena.appendRun(run, len(run) == len(elems))
+		newElems[ri], newHashes[ri] = elems, hashes
 	}
 	if over := ix.UsedUnits() - ix.budget; over > 0 {
-		// shrinkThreshold rebuilds every sketch and all posting lists,
-		// including the new records'. When nothing was evictable it leaves
-		// the index untouched and the new records still need postings.
-		if ix.shrinkThreshold(over) {
-			return
-		}
+		// The shrink lowers τ and filters existing state; the new records'
+		// runs are already in the arena, so they are trimmed with everything
+		// else. Their postings are added below under the (possibly lower) τ.
+		ix.shrinkThreshold(over)
 	}
-	// Maintain the inverted lists incrementally.
-	for id := base; id < len(ix.records); id++ {
-		ix.addPostings(int32(id))
-	}
-}
-
-// addPostings extends the inverted lists with record id's signature.
-func (ix *Index) addPostings(id int32) {
-	for _, e := range ix.records[id] {
-		if _, buffered := ix.bitOf[e]; buffered {
-			continue
+	// Maintain the inverted lists incrementally from the retained pairs.
+	for ri := range recs {
+		id := int32(base + ri)
+		hashes := newHashes[ri]
+		for j, e := range newElems[ri] {
+			if hashes[j] <= ix.tau {
+				ix.postings.add(e, id)
+			}
 		}
-		if hash.UnitHash(e, ix.opt.Seed) <= ix.tau {
-			ix.postings[e] = append(ix.postings[e], id)
-		}
-	}
-	if buf := ix.buffers[id]; buf != nil {
-		for _, bit := range buf.Ones() {
-			ix.bufferPostings[bit] = append(ix.bufferPostings[bit], id)
+		if ix.bufArena.stride > 0 {
+			ix.bufArena.forEachSetBit(int(id), func(bit int) {
+				ix.bufferPostings[bit] = append(ix.bufferPostings[bit], id)
+			})
 		}
 	}
 }
 
 // shrinkThreshold lowers τ just enough to evict `over` stored hash values,
-// then rebuilds sketches and postings under the new threshold, reporting
-// whether a rebuild happened. It returns false — leaving the index exactly
-// as it was — when no hash values are stored at all: then the overshoot is
-// pure buffer cost (which grows with the record count and cannot shrink),
-// and the over-budget state is accepted rather than paying a full posting
+// then trims every run and filters the posting lists under the new
+// threshold, reporting whether anything changed. It returns false — leaving
+// the index exactly as it was — when no hash values are stored at all: then
+// the overshoot is pure buffer cost (which grows with the record count and
+// cannot shrink), and the over-budget state is accepted rather than paying a
 // rebuild per insert, or worse, panicking.
+//
+// No element is rehashed: the new τ is an order statistic of the stored
+// multiset (streamed through the same histogram selection the build uses),
+// runs shrink to their ascending prefixes, and the posting filter hashes one
+// value per distinct element key rather than one per occurrence.
 func (ix *Index) shrinkThreshold(over int) bool {
 	total := ix.arena.units()
 	if total == 0 {
@@ -204,24 +222,20 @@ func (ix *Index) shrinkThreshold(over int) bool {
 	if keep < 1 {
 		keep = 1
 	}
-	// The new τ is the keep-th smallest stored hash value: quickselect on a
-	// copy of the arena (the copy keeps the arena's per-record runs ordered
-	// when the shrink turns out to be a no-op). τ is a value threshold and
-	// identical elements share a hash, so a tie run at the cut stays whole:
-	// the index can settle slightly over budget. Crucially the new τ
-	// depends only on the stored multiset and keep — never on the insertion
-	// grouping — so batched and sequential inserts (and hence journal
-	// replay) converge on identical state. When the cut lands exactly on
-	// the current τ the "shrink" is a no-op; skip the full resketch rather
-	// than repeating it on every insert while the tie run holds the line.
-	all := make([]float64, total)
-	copy(all, ix.arena.hashes)
-	cut := selectk.Float64s(all, keep-1)
+	// The new τ is the keep-th smallest stored hash value. τ is a value
+	// threshold and identical elements share a hash, so a tie run at the cut
+	// stays whole: the index can settle slightly over budget. Crucially the
+	// new τ depends only on the stored multiset and keep — never on the
+	// insertion grouping — so batched and sequential inserts (and hence
+	// journal replay) converge on identical state. When the cut lands
+	// exactly on the current τ the "shrink" is a no-op; skip it rather than
+	// repeating it on every insert while the tie run holds the line.
+	cut := kthSmallest([][]float64{ix.arena.hashes}, keep, ix.tau)
 	if cut == ix.tau {
 		return false
 	}
 	ix.tau = cut
-	ix.sketchAll()
-	ix.buildPostings()
+	ix.arena.trimToTau(cut)
+	ix.filterPostings(cut)
 	return true
 }

@@ -6,18 +6,18 @@ import (
 	"fmt"
 	"io"
 
-	"gbkmv/internal/bitmap"
 	"gbkmv/internal/dataset"
 	"gbkmv/internal/hash"
 )
 
 // indexWire is the gob-encoded form of an Index. Since wire version 2 the
 // sketch arena is written directly — one flat hash store plus the CSR offset
-// table — so Load restores signatures with a copy instead of re-hashing and
-// re-sorting every record. Buffers are still rebuilt (they are cheap map
-// lookups, no hashing), as are the inverted lists. Version-1 snapshots,
-// which carried no arena, keep loading: their sketches are rebuilt from the
-// records exactly as before and land in the arena.
+// table — and since version 3 the buffer arena rides along as one word
+// slice, so Load restores both signature halves with copies instead of
+// re-hashing or re-scanning the records. Only the inverted lists are still
+// derived on load (one hashing pass). Version-2 snapshots, which carried no
+// buffer arena, rebuild buffers from the records (cheap map lookups);
+// version-1 snapshots rebuild everything exactly as the writer did.
 type indexWire struct {
 	Version     int
 	Opt         Options
@@ -30,13 +30,16 @@ type indexWire struct {
 	ArenaHashes   []float64
 	ArenaOffsets  []uint32
 	ArenaComplete []bool
+	// The buffer arena (version ≥ 3); see bufferArena for the layout.
+	BufWords  []uint64
+	BufStride int
 }
 
-const wireVersion = 2
+const wireVersion = 3
 
-// Save serializes the index. The format is self-contained and includes the
-// packed signature arena, so Load reconstructs the exact same sketches
-// without re-hashing the collection.
+// Save serializes the index. The format is self-contained and includes both
+// packed signature arenas, so Load reconstructs the exact same sketches and
+// buffers without re-hashing the collection.
 func (ix *Index) Save(w io.Writer) error {
 	return gob.NewEncoder(w).Encode(indexWire{
 		Version:       wireVersion,
@@ -49,6 +52,8 @@ func (ix *Index) Save(w io.Writer) error {
 		ArenaHashes:   ix.arena.hashes,
 		ArenaOffsets:  ix.arena.offsets,
 		ArenaComplete: ix.arena.complete,
+		BufWords:      ix.bufArena.words,
+		BufStride:     ix.bufArena.stride,
 	})
 }
 
@@ -58,7 +63,7 @@ func Load(r io.Reader) (*Index, error) {
 	if err := gob.NewDecoder(r).Decode(&w); err != nil {
 		return nil, fmt.Errorf("core: decoding index: %v", err)
 	}
-	if w.Version != 1 && w.Version != wireVersion {
+	if w.Version < 1 || w.Version > wireVersion {
 		return nil, fmt.Errorf("core: unsupported index version %d", w.Version)
 	}
 	if len(w.Records) == 0 {
@@ -76,39 +81,47 @@ func Load(r io.Reader) (*Index, error) {
 	for i, e := range ix.bufferElems {
 		ix.bitOf[e] = i
 	}
-	if w.Version >= 2 {
-		ix.arena = sketchArena{
-			hashes:   w.ArenaHashes,
-			offsets:  w.ArenaOffsets,
-			complete: w.ArenaComplete,
-		}
-		if !ix.arena.valid(len(ix.records)) {
-			return nil, errors.New("core: serialized index has a corrupt signature arena")
-		}
-		ix.rebuildBuffers()
-	} else {
-		// Legacy snapshot without an arena: derive the sketches from the
-		// records, exactly as the writer built them.
-		ix.sketchAll()
+	if w.Version < 2 {
+		// Legacy snapshot without arenas: derive every signature structure
+		// from the records, exactly as the writer built them.
+		ix.rebuildAll()
+		return ix, nil
 	}
-	ix.buildPostings()
+	ix.arena = sketchArena{
+		hashes:   w.ArenaHashes,
+		offsets:  w.ArenaOffsets,
+		complete: w.ArenaComplete,
+	}
+	if !ix.arena.valid(len(ix.records)) {
+		return nil, errors.New("core: serialized index has a corrupt signature arena")
+	}
+	if w.Version >= 3 {
+		ix.bufArena = bufferArena{words: w.BufWords, stride: w.BufStride, bits: ix.bufferBits}
+		if !ix.bufArena.valid(len(ix.records), ix.bufferBits) {
+			return nil, errors.New("core: serialized index has a corrupt buffer arena")
+		}
+	} else {
+		// Version-2 snapshot: the buffers were not on the wire; rebuild them
+		// from the records and the buffered-element mapping — pure map
+		// lookups, no hashing.
+		ix.rebuildBuffers()
+	}
+	ix.rebuildPostings()
 	return ix, nil
 }
 
-// rebuildBuffers reconstructs the per-record bitmap buffers from the records
-// and the buffered-element mapping — pure map lookups, no hashing.
+// rebuildBuffers reconstructs the flat buffer arena from the records and the
+// buffered-element mapping — pure map lookups, no hashing.
 func (ix *Index) rebuildBuffers() {
-	ix.buffers = make([]*bitmap.Bitmap, len(ix.records))
+	ix.bufArena.init(len(ix.records), ix.bufferBits)
 	if ix.bufferBits <= 0 {
 		return
 	}
 	for i, rec := range ix.records {
-		buf := bitmap.New(ix.bufferBits)
 		for _, e := range rec {
 			if bit, ok := ix.bitOf[e]; ok {
-				buf.Set(bit)
+				ix.bufArena.set(i, bit)
 			}
 		}
-		ix.buffers[i] = buf
 	}
 }

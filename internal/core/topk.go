@@ -51,7 +51,7 @@ func (ix *Index) topkSigWith(sig *QuerySig, k int, sc *searchScratch) []Scored {
 	sc.nextEpoch()
 	sc.touched = sc.touched[:0]
 	for _, e := range sig.rest {
-		for _, id := range ix.postings[e] {
+		for _, id := range ix.postings.get(e) {
 			sc.visit(id)
 			sc.counts[id]++
 		}
@@ -83,10 +83,7 @@ func (ix *Index) topkSigWith(sig *QuerySig, k int, sc *searchScratch) []Scored {
 	size := float64(sig.Size)
 	h := topkheap.Make(k, sc.heap)
 	for _, id := range sc.touched {
-		exact := 0
-		if sig.buffer != nil && ix.buffers[id] != nil {
-			exact = sig.buffer.AndCount(ix.buffers[id])
-		}
+		exact := ix.bufferOverlap(sig, int(id))
 		upper := float64(exact)
 		if qMax > 0 {
 			upper += float64(sc.counts[id]) / qMax

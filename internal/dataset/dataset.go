@@ -153,7 +153,13 @@ func (d *Dataset) RecordSizes() []int {
 // frequency order (ties broken by element id for determinism). If r exceeds
 // the number of occurring elements, all occurring elements are returned.
 func (d *Dataset) TopFrequent(r int) []hash.Element {
-	freq := d.Frequencies()
+	return TopFrequentFrom(d.Frequencies(), r)
+}
+
+// TopFrequentFrom is TopFrequent over a precomputed frequency table
+// (freq[e] = occurrences of element e), for callers that need the table for
+// other decisions too and should not pay a second counting pass.
+func TopFrequentFrom(freq []int, r int) []hash.Element {
 	ids := make([]hash.Element, 0, len(freq))
 	for e, f := range freq {
 		if f > 0 {
@@ -286,53 +292,98 @@ func (c SyntheticConfig) Validate() error {
 	return nil
 }
 
+// recordGen draws one synthetic record at a time: Zipf element popularity,
+// power-law record sizes. It is the shared engine behind Synthetic (which
+// materializes a Dataset) and StreamSynthetic (which does not).
+type recordGen struct {
+	rng      *rand.Rand
+	sizeDist *powerlaw.Dist
+	sampler  *zipfSampler
+	seen     map[hash.Element]struct{}
+}
+
+func newRecordGen(cfg SyntheticConfig, seed int64) (*recordGen, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	sizeDist, err := powerlaw.NewDist(cfg.AlphaSize, cfg.MinSize, cfg.MaxSize)
+	if err != nil {
+		return nil, err
+	}
+	return &recordGen{
+		rng:      rand.New(rand.NewSource(seed)),
+		sizeDist: sizeDist,
+		sampler:  newZipfSampler(cfg.Universe, cfg.AlphaFreq),
+		seen:     make(map[hash.Element]struct{}, cfg.MaxSize),
+	}, nil
+}
+
+// next draws the generator's next record.
+func (g *recordGen) next() Record {
+	size := g.sizeDist.Sample(g.rng)
+	elems := make([]hash.Element, 0, size)
+	for k := range g.seen {
+		delete(g.seen, k)
+	}
+	// Rejection-sample distinct elements. With Universe >> size this
+	// terminates quickly; a deterministic fallback fills from the most
+	// popular unseen ranks if rejection stalls.
+	attempts := 0
+	for len(elems) < size && attempts < 50*size {
+		attempts++
+		e := g.sampler.sample(g.rng)
+		if _, dup := g.seen[e]; dup {
+			continue
+		}
+		g.seen[e] = struct{}{}
+		elems = append(elems, e)
+	}
+	for e := hash.Element(0); len(elems) < size; e++ {
+		if _, dup := g.seen[e]; dup {
+			continue
+		}
+		g.seen[e] = struct{}{}
+		elems = append(elems, e)
+	}
+	return NewRecord(elems)
+}
+
 // Synthetic generates a dataset whose element frequencies follow a Zipf law
 // with exponent α1 over popularity ranks and whose record sizes follow a
 // bounded discrete power law with exponent α2 (Section IV-C1 assumptions).
 // Element ids are assigned so that id 0 is the most popular element.
 // Generation is deterministic in (cfg, seed).
 func Synthetic(cfg SyntheticConfig, seed int64) (*Dataset, error) {
-	if err := cfg.Validate(); err != nil {
-		return nil, err
-	}
-	rng := rand.New(rand.NewSource(seed))
-	sizeDist, err := powerlaw.NewDist(cfg.AlphaSize, cfg.MinSize, cfg.MaxSize)
+	gen, err := newRecordGen(cfg, seed)
 	if err != nil {
 		return nil, err
 	}
-	sampler := newZipfSampler(cfg.Universe, cfg.AlphaFreq)
-
 	records := make([]Record, cfg.NumRecords)
-	seen := make(map[hash.Element]struct{}, cfg.MaxSize)
 	for i := range records {
-		size := sizeDist.Sample(rng)
-		elems := make([]hash.Element, 0, size)
-		for k := range seen {
-			delete(seen, k)
-		}
-		// Rejection-sample distinct elements. With Universe >> size this
-		// terminates quickly; a deterministic fallback fills from the most
-		// popular unseen ranks if rejection stalls.
-		attempts := 0
-		for len(elems) < size && attempts < 50*size {
-			attempts++
-			e := sampler.sample(rng)
-			if _, dup := seen[e]; dup {
-				continue
-			}
-			seen[e] = struct{}{}
-			elems = append(elems, e)
-		}
-		for e := hash.Element(0); len(elems) < size; e++ {
-			if _, dup := seen[e]; dup {
-				continue
-			}
-			seen[e] = struct{}{}
-			elems = append(elems, e)
-		}
-		records[i] = NewRecord(elems)
+		records[i] = gen.next()
 	}
 	return &Dataset{Records: records, Universe: cfg.Universe}, nil
+}
+
+// StreamSynthetic generates n records with Synthetic's distributions
+// (cfg.NumRecords is ignored), invoking emit for each without materializing
+// a Dataset — the record is owned by the callback. This is the heavy-write
+// workload source behind the server insert benchmarks and datagen's
+// streaming client mode: arbitrarily long insert streams cost O(record)
+// memory. Emit returning an error stops the stream. Deterministic in
+// (cfg, seed, n).
+func StreamSynthetic(cfg SyntheticConfig, seed int64, n int, emit func(i int, r Record) error) error {
+	cfg.NumRecords = 1 // validated but unused: records are not materialized
+	gen, err := newRecordGen(cfg, seed)
+	if err != nil {
+		return err
+	}
+	for i := 0; i < n; i++ {
+		if err := emit(i, gen.next()); err != nil {
+			return err
+		}
+	}
+	return nil
 }
 
 // Uniform generates the supplementary-experiment dataset of Section V-F:

@@ -1,0 +1,115 @@
+package server
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"gbkmv"
+	"gbkmv/internal/dataset"
+)
+
+// Server insert-throughput benchmarks: C concurrent clients inserting
+// single-record batches into one journaled collection. ns/op is the
+// sustained per-insert cost — with group commit, concurrent clients share
+// fsyncs, so c8/c32 per-insert cost falls far below the c1 (one fsync per
+// group of one) and Serial (the pre-group-commit per-insert-fsync baseline,
+// forced via the commit.serial knob) numbers.
+
+// benchInsertWorkload pregenerates per-client token batches with the
+// streaming generator — the same Zipf/power-law shape datagen's
+// -zipf-clients mode emits.
+func benchInsertWorkload(b *testing.B, clients, perClient int) [][][]string {
+	b.Helper()
+	out := make([][][]string, clients)
+	cfg := dataset.SyntheticConfig{
+		NumRecords: 1, Universe: 20000,
+		AlphaFreq: 1.1, AlphaSize: 2.5,
+		MinSize: 10, MaxSize: 100,
+	}
+	err := dataset.StreamSynthetic(cfg, 42, clients*perClient, func(i int, r dataset.Record) error {
+		tokens := make([]string, len(r))
+		for j, e := range r {
+			tokens[j] = fmt.Sprintf("e%d", e)
+		}
+		out[i%clients] = append(out[i%clients], tokens)
+		return nil
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	return out
+}
+
+// newBenchCollection builds a journaled collection in a fresh temp dir.
+func newBenchCollection(b *testing.B, serial bool) *Collection {
+	b.Helper()
+	store, err := NewStore(b.TempDir(), func(string, ...any) {})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Cleanup(func() { store.Close() })
+	voc := gbkmv.NewVocabulary()
+	recs := []gbkmv.Record{voc.Record([]string{"seed", "one"}), voc.Record([]string{"seed", "two"})}
+	eng, err := gbkmv.NewEngine("gbkmv", recs, gbkmv.EngineOptions{BudgetUnits: 64 << 20})
+	if err != nil {
+		b.Fatal(err)
+	}
+	c, err := store.Create("bench", voc, eng)
+	if err != nil {
+		b.Fatal(err)
+	}
+	c.commit.serial = serial
+	return c
+}
+
+// runInsertBench drives b.N single-record inserts across the clients and
+// reports per-insert wall time.
+func runInsertBench(b *testing.B, clients int, serial bool) {
+	workload := benchInsertWorkload(b, clients, 512)
+	c := newBenchCollection(b, serial)
+	b.ResetTimer()
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < clients; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			mine := workload[w]
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= b.N {
+					return
+				}
+				if _, err := c.Insert([][]string{mine[i%len(mine)]}, ""); err != nil {
+					b.Error(err)
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+}
+
+// BenchmarkServerInsert measures group-commit insert throughput at 1, 8 and
+// 32 concurrent clients.
+func BenchmarkServerInsert(b *testing.B) {
+	for _, clients := range []int{1, 8, 32} {
+		b.Run(fmt.Sprintf("c%d", clients), func(b *testing.B) {
+			runInsertBench(b, clients, false)
+		})
+	}
+}
+
+// BenchmarkServerInsertSerial is the per-insert-fsync baseline the group
+// commit is judged against (ISSUE 4 acceptance: ≥5× at 32 clients): the
+// same workload with the serial knob forcing one fsync per insert under the
+// I/O lock, exactly the pre-group-commit write path.
+func BenchmarkServerInsertSerial(b *testing.B) {
+	for _, clients := range []int{1, 32} {
+		b.Run(fmt.Sprintf("c%d", clients), func(b *testing.B) {
+			runInsertBench(b, clients, true)
+		})
+	}
+}

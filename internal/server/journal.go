@@ -46,11 +46,23 @@ const journalMaxEntry = 64 << 20 // sanity bound on one entry's payload
 // mistake, not a storage failure.
 var errEntryTooLarge = errors.New("journal entry too large")
 
-// journalWriter appends entries to an open journal file.
+// journalWriter appends entries to an open journal file. Appends go through
+// a buffered writer; durability is split into Flush (buffer → file) and
+// SyncFile (fsync) so that the group-commit protocol can append under the
+// collection's I/O lock while the expensive fsync runs outside it, shared
+// by every batch of a commit group (see Collection.Insert).
 type journalWriter struct {
 	f   *os.File
 	buf *bufio.Writer
 	off int64 // logical size: file bytes plus buffered bytes
+
+	flushed int64 // bytes handed to the OS (Flush high-water mark)
+	synced  int64 // bytes made durable (SyncFile high-water mark)
+
+	// syncHook and writeHook, when set, replace the fsync / precede the
+	// frame write — fault injection for the group-commit failure tests.
+	syncHook  func() error
+	writeHook func() error
 }
 
 // openJournalWriter opens (creating if needed) the journal at path for
@@ -69,7 +81,7 @@ func openJournalWriter(path string, validLen int64) (*journalWriter, error) {
 		f.Close()
 		return nil, err
 	}
-	return &journalWriter{f: f, buf: bufio.NewWriter(f), off: validLen}, nil
+	return &journalWriter{f: f, buf: bufio.NewWriter(f), off: validLen, flushed: validLen, synced: validLen}, nil
 }
 
 // journalEntry is one replayed insert: its tokens and, when the insert
@@ -85,9 +97,9 @@ type framedEntry struct {
 	Tokens    []string `json:"tokens"`
 }
 
-// Append frames and buffers one record, echoing requestID (when non-empty)
-// into the frame. Call Sync to make a batch durable.
-func (j *journalWriter) Append(tokens []string, requestID string) error {
+// marshalFrame encodes one record's frame (12-byte header + payload) into
+// dst, echoing requestID (when non-empty) into the payload.
+func marshalFrame(dst []byte, tokens []string, requestID string) ([]byte, error) {
 	var payload []byte
 	var err error
 	if requestID == "" {
@@ -96,25 +108,64 @@ func (j *journalWriter) Append(tokens []string, requestID string) error {
 		payload, err = json.Marshal(framedEntry{RequestID: requestID, Tokens: tokens})
 	}
 	if err != nil {
-		return err
+		return dst, err
 	}
 	if len(payload) > journalMaxEntry {
 		// Replay hard-errors on oversized entries; writing one would make
 		// the collection unloadable, so refuse the insert instead.
-		return fmt.Errorf("%w: record of %d bytes exceeds the limit (%d)", errEntryTooLarge, len(payload), journalMaxEntry)
+		return dst, fmt.Errorf("%w: record of %d bytes exceeds the limit (%d)", errEntryTooLarge, len(payload), journalMaxEntry)
 	}
 	var hdr [12]byte
 	binary.BigEndian.PutUint32(hdr[0:4], uint32(len(payload)))
 	binary.BigEndian.PutUint32(hdr[4:8], crc32.ChecksumIEEE(hdr[0:4]))
 	binary.BigEndian.PutUint32(hdr[8:12], crc32.ChecksumIEEE(payload))
-	if _, err := j.buf.Write(hdr[:]); err != nil {
+	dst = append(dst, hdr[:]...)
+	dst = append(dst, payload...)
+	return dst, nil
+}
+
+// encodeBatch marshals (and size-checks) a whole batch into one frame
+// stream. It touches no journal state, so the insert path runs it *before*
+// taking the append lock — the CPU-bound JSON encoding of concurrent
+// batches overlaps instead of queueing on ioMu.
+func encodeBatch(batch [][]string, requestID string) ([]byte, error) {
+	var frames []byte
+	for _, tokens := range batch {
+		var err error
+		if frames, err = marshalFrame(frames, tokens, requestID); err != nil {
+			return nil, err
+		}
+	}
+	return frames, nil
+}
+
+// appendFrames buffers a pre-encoded frame stream as one write. A frame
+// stream is all-or-nothing from the encoder's side; only an actual I/O
+// failure — which poisons the buffered writer and therefore everything
+// appended after it — can leave a partial batch behind, and the
+// group-commit flush surfaces and rolls that back.
+func (j *journalWriter) appendFrames(frames []byte) error {
+	if j.writeHook != nil {
+		if err := j.writeHook(); err != nil {
+			return err
+		}
+	}
+	if _, err := j.buf.Write(frames); err != nil {
 		return err
 	}
-	if _, err := j.buf.Write(payload); err != nil {
-		return err
-	}
-	j.off += int64(len(hdr)) + int64(len(payload))
+	j.off += int64(len(frames))
 	return nil
+}
+
+// AppendBatch frames and buffers a whole batch as one write: encodeBatch +
+// appendFrames for single-writer callers (tests); the insert path splits
+// the two around its lock acquisition.
+func (j *journalWriter) AppendBatch(batch [][]string, requestID string) error {
+	frames, err := encodeBatch(batch, requestID)
+	if err != nil {
+		return err
+	}
+	return j.appendFrames(frames)
 }
 
 // Offset returns the journal's logical size (including buffered entries);
@@ -139,15 +190,58 @@ func (j *journalWriter) Rollback(off int64) error {
 		}
 	}
 	j.off = off
+	j.flushed = off
+	if j.synced > off {
+		j.synced = off
+	}
 	return nil
 }
 
-// Sync flushes buffered entries and fsyncs the file.
-func (j *journalWriter) Sync() error {
+// Flush hands every buffered frame to the OS (no fsync) and records the
+// flush high-water mark a subsequent SyncFile covers. Resetting the buffer
+// also clears a poisoned (sticky-error) state left by a failed spill, so a
+// Rollback + Flush sequence heals the writer. Callers serialize Flush with
+// appends (the collection's ioMu).
+func (j *journalWriter) Flush() error {
 	if err := j.buf.Flush(); err != nil {
 		return err
 	}
-	return j.f.Sync()
+	j.flushed = j.off
+	return nil
+}
+
+// SyncFile fsyncs the file, making every previously flushed frame durable.
+// Unlike Flush it may run concurrently with appends (they only touch the
+// buffer); frames appended mid-fsync are simply not covered. Callers
+// serialize SyncFile calls with each other (the commit leader lock).
+func (j *journalWriter) SyncFile() error {
+	covered := j.flushed
+	sync := j.f.Sync
+	if j.syncHook != nil {
+		sync = j.syncHook
+	}
+	if err := sync(); err != nil {
+		return err
+	}
+	if covered > j.synced {
+		j.synced = covered
+	}
+	return nil
+}
+
+// SyncedOffset returns the durable high-water mark: every byte below it has
+// been fsynced. It is the rollback target after a failed group commit —
+// everything above it is unacknowledged by construction.
+func (j *journalWriter) SyncedOffset() int64 { return j.synced }
+
+// Sync flushes buffered entries and fsyncs the file — the one-call form
+// for single-writer callers (tests); the group-commit path drives Flush and
+// SyncFile separately so the fsync can leave the append lock.
+func (j *journalWriter) Sync() error {
+	if err := j.Flush(); err != nil {
+		return err
+	}
+	return j.SyncFile()
 }
 
 // Close flushes and closes the journal.

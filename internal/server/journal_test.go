@@ -16,7 +16,7 @@ func writeEntries(t *testing.T, path string, entries [][]string) {
 		t.Fatal(err)
 	}
 	for _, e := range entries {
-		if err := jw.Append(e, ""); err != nil {
+		if err := jw.AppendBatch([][]string{e}, ""); err != nil {
 			t.Fatal(err)
 		}
 	}
@@ -81,7 +81,7 @@ func TestJournalTornTail(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		if err := jw.Append([]string{"torn", "entry"}, ""); err != nil {
+		if err := jw.AppendBatch([][]string{{"torn", "entry"}}, ""); err != nil {
 			t.Fatal(err)
 		}
 		if err := jw.Close(); err != nil {
@@ -105,7 +105,7 @@ func TestJournalTornTail(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		if err := jw.Append([]string{"recovered"}, ""); err != nil {
+		if err := jw.AppendBatch([][]string{{"recovered"}}, ""); err != nil {
 			t.Fatal(err)
 		}
 		if err := jw.Close(); err != nil {

@@ -276,7 +276,10 @@ func (s *Store) Delete(name string) error {
 // Snapshot persists the named collection's current state and truncates its
 // journal (the snapshot subsumes it). Like every disk-mutating operation it
 // runs under opMu, so it cannot interleave its writes with a concurrent
-// replacement build of the same name.
+// replacement build of the same name. Taking the commit leader lock and
+// draining the open group first quiesces in-flight group commits: no batch
+// is left appended-but-unapplied when the journal is swapped out from under
+// it.
 func (s *Store) Snapshot(name string) (*Collection, error) {
 	s.opMu.Lock()
 	defer s.opMu.Unlock()
@@ -287,7 +290,9 @@ func (s *Store) Snapshot(name string) (*Collection, error) {
 	if c.dir == "" {
 		return nil, ErrNoPersistence
 	}
-	c.ioMu.Lock()
+	c.commit.syncMu.Lock()
+	defer c.commit.syncMu.Unlock()
+	c.drainPending()
 	defer c.ioMu.Unlock()
 	_, err = c.snapshot()
 	return c, err
@@ -302,7 +307,8 @@ func (s *Store) Close() error {
 	defer s.mu.Unlock()
 	var first error
 	for _, c := range s.cols {
-		c.ioMu.Lock()
+		c.commit.syncMu.Lock()
+		c.drainPending() // returns with ioMu held
 		c.mu.RLock()
 		needsSnapshot := c.dir != "" && c.journaled > 0
 		c.mu.RUnlock()
@@ -319,30 +325,78 @@ func (s *Store) Close() error {
 			c.journal = nil
 		}
 		c.ioMu.Unlock()
+		c.commit.syncMu.Unlock()
 	}
 	return first
 }
 
-// Collection is one named index behind two locks. mu is the index RWMutex:
-// searches take the read lock and run concurrently, mutations take the
-// write lock. ioMu serializes journal I/O (and, held across the journal
-// write *and* the index apply, keeps journal order identical to id
-// assignment order, which replay depends on) — so an insert's fsync never
-// blocks searches, only other inserts. Lock order: ioMu before mu.
+// Collection is one named index behind two locks plus the group-commit
+// leader lock. mu is the index RWMutex: searches take the read lock and run
+// concurrently, mutations take the write lock. ioMu serializes journal
+// appends and index applies (append order == id-assignment order, which
+// replay depends on) but — unlike earlier revisions — is NOT held across
+// the fsync: concurrent inserts append under ioMu, join the open commit
+// group, and share one batched fsync driven by the group's leader under
+// commit.syncMu (see Insert). Lock order: opMu → syncMu → ioMu → mu.
 type Collection struct {
 	name string
 	dir  string // collection directory; "" when the store is memory-only
 
-	ioMu     sync.Mutex     // guards journal, closed and requests
+	ioMu     sync.Mutex     // guards journal appends, closed, requests, commit.pending
 	journal  *journalWriter // inserts since the current snapshot; nil when dir == ""
 	closed   bool           // set when the collection is replaced, deleted or shut down
 	requests *requestLog    // recent insert request ids, for retry rejection
+	commit   commitState    // group-commit machinery; see Insert
 
 	mu        sync.RWMutex
 	voc       *gbkmv.Vocabulary
 	eng       gbkmv.Engine
 	gen       uint64 // generation of the current on-disk snapshot
 	journaled int    // entries in the current journal
+}
+
+// commitState is the group-commit machinery of one collection.
+type commitState struct {
+	// syncMu is the leader lock: held by exactly one commit group's leader
+	// across flush, fsync and apply, it serializes groups in formation
+	// order. Snapshot/close take it to quiesce in-flight commits.
+	syncMu sync.Mutex
+	// pending is the open group accepting members; guarded by ioMu. Every
+	// batch that appended frames since the previous group was sealed is a
+	// member, so the seal-time flush covers exactly the members' frames.
+	pending *commitGroup
+	// inflight maps a request id to its not-yet-applied batch (guarded by
+	// ioMu). The requests window only learns ids at apply time, which —
+	// since the fsync left ioMu — is after Insert releases the lock; a
+	// retry racing that gap finds its original here and waits for its
+	// group instead of slipping past the duplicate check.
+	inflight map[string]*inflightInsert
+	// serial forces the pre-group-commit behavior — flush+fsync per insert
+	// under ioMu. It exists so the insert benchmarks can measure the
+	// per-insert-fsync baseline in-tree; production never sets it.
+	serial bool
+}
+
+// inflightInsert is one request-tagged batch between journal append and
+// index apply: the retry-dedup handle for the commit window.
+type inflightInsert struct {
+	batch *commitBatch
+	done  chan struct{} // the batch's commit group's done channel
+}
+
+// commitGroup is one shared fsync: the batches whose frames ride it.
+type commitGroup struct {
+	members  []*commitBatch
+	detached bool // sealed for processing (by its leader or a drain); ioMu
+	done     chan struct{}
+}
+
+// commitBatch is one Insert call's slot in its commit group.
+type commitBatch struct {
+	tokens [][]string
+	rid    string
+	ids    []int // assigned in apply order == journal order
+	err    error
 }
 
 // maxRememberedRequests bounds the duplicate-detection window: ids beyond it
@@ -354,9 +408,11 @@ const maxRememberedRequests = 1024
 // inserts, in arrival order. Batch ids are always consecutive (every
 // engine's AddBatch assigns them that way), so each request is one
 // (first, count) span — a tagged 100k-record batch costs two integers here
-// and in the meta.json commit record, not 100k. Guarded by the collection's
-// ioMu.
+// and in the meta.json commit record, not 100k. It carries its own lock so
+// the commit leader can record ids during the apply phase without holding
+// the collection's ioMu (which would stall the next group's appends).
 type requestLog struct {
+	mu    sync.Mutex
 	ids   map[string]idSpan
 	order []string
 }
@@ -379,6 +435,8 @@ func newRequestLog() *requestLog {
 }
 
 func (l *requestLog) get(rid string) ([]int, bool) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
 	s, ok := l.ids[rid]
 	if !ok {
 		return nil, false
@@ -390,6 +448,8 @@ func (l *requestLog) add(rid string, first, count int) {
 	if rid == "" {
 		return
 	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
 	if _, dup := l.ids[rid]; !dup {
 		l.order = append(l.order, rid)
 	}
@@ -398,6 +458,19 @@ func (l *requestLog) add(rid string, first, count int) {
 		delete(l.ids, l.order[0])
 		l.order = l.order[1:]
 	}
+}
+
+// entries snapshots the remembered spans in arrival order (for the meta
+// commit record).
+func (l *requestLog) entries() []requestEntry {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	out := make([]requestEntry, 0, len(l.order))
+	for _, rid := range l.order {
+		s := l.ids[rid]
+		out = append(out, requestEntry{ID: rid, First: s.first, Count: s.count})
+	}
+	return out
 }
 
 // Hit is one search result.
@@ -472,11 +545,22 @@ func (c *Collection) TopK(tokens []string, k int, withTokens bool) ([]Hit, error
 	return hits, nil
 }
 
-// Insert adds a batch of records dynamically: journaled first (one fsync
-// per batch, under ioMu only, so searches keep running), then applied to
-// the index as one batch under the write lock. A journal failure rolls the
-// file back to the pre-batch offset, so entries on disk never outrun the
-// acknowledged index state. Returns the new record ids in batch order.
+// Insert adds a batch of records dynamically through the group-commit
+// journal: frames are appended (buffered) under ioMu, the batch joins the
+// open commit group, and the group's leader — the batch that opened it —
+// flushes once and fsyncs once for every member, outside ioMu, so inserts
+// arriving during an fsync form the next group instead of queueing behind
+// the disk. Followers just wait for the group's completion. After the fsync
+// the leader applies every member in journal order (vocabulary interning
+// and engine AddBatch under the write lock), which keeps id assignment
+// identical to what replay reproduces. Acknowledgement still strictly
+// follows durability: no batch returns (and no search can observe its
+// records) before its frames are fsynced. Returns the new record ids in
+// batch order.
+//
+// A failed flush or fsync fails every batch whose frames were not yet
+// durable and rolls the journal back to the durable high-water mark, so
+// entries on disk never outrun the acknowledged index state.
 //
 // A non-empty requestID closes the WAL-ambiguity window: the id is echoed
 // into every journal frame of the batch and remembered (surviving both
@@ -485,67 +569,266 @@ func (c *Collection) TopK(tokens []string, k int, withTokens bool) ([]Hit, error
 // gets ErrDuplicateRequest — with the originally assigned ids — instead of
 // silently duplicated records.
 func (c *Collection) Insert(batch [][]string, requestID string) ([]int, error) {
-	c.ioMu.Lock()
-	defer c.ioMu.Unlock()
 	// Validate before touching the vocabulary or the journal: a rejected
 	// batch must leave no trace. (A record is empty iff it has no tokens —
-	// every token interns to an element.)
+	// every token interns to an element.) An empty batch is rejected too:
+	// it has no ids to acknowledge or remember.
+	if len(batch) == 0 {
+		return nil, errors.New("empty batch")
+	}
 	for i, tokens := range batch {
 		if len(tokens) == 0 {
 			return nil, fmt.Errorf("record %d is empty", i)
 		}
 	}
+	// Encode the journal frames before taking the append lock: marshaling
+	// is CPU work that concurrent inserts should overlap, not queue on.
+	frames, encErr := encodeBatch(batch, requestID)
+	c.ioMu.Lock()
 	if requestID != "" {
 		if ids, seen := c.requests.get(requestID); seen {
+			c.ioMu.Unlock()
 			return ids, ErrDuplicateRequest
+		}
+		if inf, ok := c.commit.inflight[requestID]; ok {
+			// The original is appended but not yet applied (its group is
+			// still committing): the requests window cannot answer yet, so
+			// wait for the group and answer from the original batch. The
+			// pre-group-commit code closed this window by holding ioMu
+			// across append+fsync+apply; the registry restores that
+			// guarantee without the lock.
+			c.ioMu.Unlock()
+			<-inf.done
+			if inf.batch.err != nil {
+				// The original never committed; nothing was inserted, and
+				// the registry entry is gone, so a later retry may proceed.
+				return nil, inf.batch.err
+			}
+			return inf.batch.ids, ErrDuplicateRequest
 		}
 	}
 	if c.closed || (c.dir != "" && c.journal == nil) {
 		// The collection was closed, deleted or replaced while this
 		// handler held it. Applying the batch would acknowledge records
 		// that exist nowhere a later reader looks.
+		c.ioMu.Unlock()
 		return nil, fmt.Errorf("%w: collection %q is closed", ErrStorage, c.name)
 	}
-	if c.journal != nil {
-		pre := c.journal.Offset()
-		err := func() error {
-			for _, tokens := range batch {
-				if err := c.journal.Append(tokens, requestID); err != nil {
-					if errors.Is(err, errEntryTooLarge) {
-						return err // client mistake, not a storage failure
-					}
-					return fmt.Errorf("%w: journal append: %v", ErrStorage, err)
-				}
-			}
-			if err := c.journal.Sync(); err != nil {
-				return fmt.Errorf("%w: journal sync: %v", ErrStorage, err)
-			}
-			return nil
-		}()
-		if err != nil {
-			if rbErr := c.journal.Rollback(pre); rbErr != nil {
-				err = errors.Join(err, fmt.Errorf("journal rollback: %w", rbErr))
-			}
-			return nil, err
+	b := &commitBatch{tokens: batch, rid: requestID}
+	if c.journal == nil {
+		// Memory-only store: nothing to make durable, apply in place.
+		c.applyBatch(b)
+		c.ioMu.Unlock()
+		return b.ids, b.err
+	}
+	if encErr != nil {
+		c.ioMu.Unlock()
+		return nil, encErr // errEntryTooLarge or a marshal failure: client-side, nothing written
+	}
+	if err := c.journal.appendFrames(frames); err != nil {
+		err = fmt.Errorf("%w: journal append: %v", ErrStorage, err)
+		// The buffered writer is poisoned (sticky error): nothing after the
+		// partial write enters the stream. If a commit is in flight, its
+		// flush will surface the failure and heal the journal through the
+		// rollback in commitGroup. If no commit is in flight, nothing would
+		// ever flush again — heal here instead. TryLock makes the two cases
+		// mutually exclusive without blocking: holding syncMu guarantees no
+		// fsync can race the rollback's truncation, and a failed TryLock
+		// proves a leader exists to do the healing.
+		if c.commit.syncMu.TryLock() {
+			c.failPendingLocked(err)
+			c.commit.syncMu.Unlock()
+		}
+		c.ioMu.Unlock()
+		return nil, err
+	}
+	g := c.commit.pending
+	leader := g == nil
+	if leader {
+		g = &commitGroup{done: make(chan struct{})}
+		c.commit.pending = g
+	}
+	g.members = append(g.members, b)
+	if requestID != "" {
+		if c.commit.inflight == nil {
+			c.commit.inflight = make(map[string]*inflightInsert)
+		}
+		c.commit.inflight[requestID] = &inflightInsert{batch: b, done: g.done}
+	}
+	if c.commit.serial {
+		// Benchmark baseline: commit this group (necessarily just b) right
+		// here, fsync under ioMu, exactly like the pre-group-commit path.
+		// Skipping syncMu is safe because the whole serial commit — append,
+		// seal, flush, fsync, apply — runs inside this single ioMu critical
+		// section, which excludes every other commit path (leaders never
+		// run in serial mode; drain paths hold ioMu). Do not move any part
+		// of it outside ioMu without restoring syncMu.
+		c.commitGroup(g, true)
+		c.ioMu.Unlock()
+		return b.ids, b.err
+	}
+	c.ioMu.Unlock()
+	if !leader {
+		<-g.done
+		return b.ids, b.err
+	}
+	c.commit.syncMu.Lock()
+	c.ioMu.Lock()
+	if g.detached {
+		// A snapshot or shutdown drained the group while this leader waited
+		// for the previous one; the batch results are already settled.
+		c.ioMu.Unlock()
+		c.commit.syncMu.Unlock()
+		<-g.done
+		return b.ids, b.err
+	}
+	c.commitGroup(g, false)
+	c.ioMu.Unlock()
+	c.commit.syncMu.Unlock()
+	return b.ids, b.err
+}
+
+// commitGroup seals g, makes its frames durable, applies its batches in
+// journal order and signals the waiters. Called with ioMu held (plus
+// syncMu, except in single-writer serial mode); returns with ioMu held and
+// g.done closed.
+//
+// With holdIoMu false — the leader path — only the seal and the buffer
+// flush run under ioMu (the buffered writer is shared with appends); the
+// fsync and the apply loop run with the lock released, so batches arriving
+// at any point during the commit append their frames and form the next
+// group. The write path thereby pipelines into at most one fsync plus one
+// apply phase in flight, with appends never stalling behind either, and
+// order stays intact because applies happen only here, under syncMu, group
+// by group in seal order. With holdIoMu true — the drain and serial paths,
+// which are rare or single-writer and already pause the collection — the
+// whole commit runs under the lock.
+//
+// On a flush or fsync failure the group's batches — and any batch that
+// appended behind them, whose frames can no longer become durable in order
+// — are failed, and the journal rolls back to the durable high-water mark.
+func (c *Collection) commitGroup(g *commitGroup, holdIoMu bool) {
+	g.detached = true
+	if c.commit.pending == g {
+		c.commit.pending = nil
+	}
+	err := c.journal.Flush()
+	stage := "journal flush"
+	if !holdIoMu {
+		c.ioMu.Unlock()
+	}
+	if err == nil {
+		if serr := c.journal.SyncFile(); serr != nil {
+			err, stage = serr, "journal sync"
 		}
 	}
-	// Intern only after durability is settled, still under ioMu, so
-	// vocabulary id assignment happens exactly in journal order — replay
-	// re-interns entries in that order and reproduces every id. Interning
-	// earlier would let a failed batch leak ids the journal never records,
-	// shifting every later id out from under the replayed state.
-	recs := make([]gbkmv.Record, len(batch))
-	for i, tokens := range batch {
+	if err == nil && !holdIoMu {
+		for _, b := range g.members {
+			c.applyBatch(b)
+		}
+	}
+	if !holdIoMu {
+		c.ioMu.Lock()
+	}
+	if err != nil {
+		failure := fmt.Errorf("%w: %s: %v", ErrStorage, stage, err)
+		for _, b := range g.members {
+			b.err = failure
+		}
+		c.failPendingLocked(failure)
+	} else if holdIoMu {
+		for _, b := range g.members {
+			c.applyBatch(b)
+		}
+	}
+	c.clearInflightLocked(g)
+	close(g.done)
+}
+
+// clearInflightLocked drops a terminated group's batches from the retry
+// registry (under ioMu). Ordering makes the registry gap-free: entries are
+// removed only after applyBatch recorded the ids in the requests window (or
+// after the batch failed), so a retry always finds one of the two.
+func (c *Collection) clearInflightLocked(g *commitGroup) {
+	for _, b := range g.members {
+		if b.rid != "" {
+			delete(c.commit.inflight, b.rid)
+		}
+	}
+}
+
+// applyBatch interns and applies one batch, assigning record ids in exactly
+// the order the batch's frames entered the journal — the invariant replay
+// depends on (callers are the commit leader under syncMu, the drain paths,
+// and the memory-only insert under ioMu; all apply in append order). The
+// engine mutation takes the write lock; searches block only for this
+// in-memory apply, never for I/O.
+func (c *Collection) applyBatch(b *commitBatch) {
+	recs := make([]gbkmv.Record, len(b.tokens))
+	for i, tokens := range b.tokens {
 		recs[i] = c.voc.Record(tokens)
 	}
 	c.mu.Lock()
-	defer c.mu.Unlock()
-	ids := c.eng.AddBatch(recs)
+	b.ids = c.eng.AddBatch(recs)
 	if c.journal != nil {
-		c.journaled += len(batch)
+		c.journaled += len(b.tokens)
 	}
-	c.requests.add(requestID, ids[0], len(ids))
-	return ids, nil
+	c.mu.Unlock()
+	c.requests.add(b.rid, b.ids[0], len(b.ids))
+}
+
+// failPendingLocked handles a durability failure under syncMu+ioMu: the
+// open group's batches (appended but never synced) are failed, and the
+// journal rolls back to its durable high-water mark so on-disk entries
+// never outrun the acknowledged state. A successful rollback also heals a
+// poisoned buffered writer, so the journal keeps serving once the disk
+// recovers; if even the rollback fails the journal is closed and every
+// later insert reports storage failure.
+func (c *Collection) failPendingLocked(err error) {
+	if g := c.commit.pending; g != nil {
+		c.commit.pending = nil
+		g.detached = true
+		for _, b := range g.members {
+			b.err = err
+		}
+		c.clearInflightLocked(g)
+		close(g.done)
+	}
+	if c.journal != nil {
+		if rbErr := c.journal.Rollback(c.journal.SyncedOffset()); rbErr != nil {
+			c.journal.Close()
+			c.journal = nil
+		}
+	}
+}
+
+// drainPending completes the open commit group, if any, exactly as its
+// leader would — flush, fsync, apply, signal — so that snapshot and
+// shutdown paths quiesce with no batch half-committed. Called with syncMu
+// held and ioMu NOT held; returns with ioMu held and no group pending,
+// which is the stable state those paths need (they keep holding ioMu, so no
+// new frames can slip into the journal they are about to swap or close).
+func (c *Collection) drainPending() {
+	c.ioMu.Lock()
+	g := c.commit.pending
+	if g == nil {
+		return
+	}
+	if c.journal == nil {
+		// Unreachable in practice (groups form only on journaled
+		// collections, and a journal loss clears the pending group), but a
+		// hung waiter would be far worse than a spurious error.
+		g.detached = true
+		c.commit.pending = nil
+		failure := fmt.Errorf("%w: collection %q lost its journal", ErrStorage, c.name)
+		for _, b := range g.members {
+			b.err = failure
+		}
+		c.clearInflightLocked(g)
+		close(g.done)
+		return
+	}
+	c.commitGroup(g, true)
 }
 
 // CollStats reports a collection's engine, sketch configuration, footprint
@@ -561,6 +844,8 @@ type CollStats struct {
 	UsedUnits        int     `json:"used_units"`
 	NumHashes        int     `json:"num_hashes,omitempty"`
 	SizeBytes        int     `json:"size_bytes"`
+	BufferBytes      int     `json:"buffer_bytes,omitempty"`
+	SketchBytes      int     `json:"sketch_bytes,omitempty"`
 	VocabSize        int     `json:"vocab_size"`
 	Persistent       bool    `json:"persistent"`
 	Generation       uint64  `json:"generation"`
@@ -582,6 +867,8 @@ func (c *Collection) Stats() CollStats {
 		UsedUnits:        st.UsedUnits,
 		NumHashes:        st.NumHashes,
 		SizeBytes:        st.SizeBytes,
+		BufferBytes:      st.BufferBytes,
+		SketchBytes:      st.SketchBytes,
 		VocabSize:        c.voc.Len(),
 		Persistent:       c.dir != "",
 		Generation:       c.gen,
@@ -590,7 +877,12 @@ func (c *Collection) Stats() CollStats {
 }
 
 func (c *Collection) closeJournal() {
-	c.ioMu.Lock()
+	c.commit.syncMu.Lock()
+	defer c.commit.syncMu.Unlock()
+	// Complete (fsync, apply, acknowledge) any in-flight group first: its
+	// members' inserts happened-before this close and must not hang or
+	// vanish.
+	c.drainPending() // returns with ioMu held
 	defer c.ioMu.Unlock()
 	c.closed = true
 	if c.journal != nil {
@@ -734,13 +1026,9 @@ func (c *Collection) snapshot() (committed bool, err error) {
 	// The request window rides in the commit record: the snapshot subsumes
 	// (and truncates) the journal that carried the ids, and the retry the
 	// window exists for may arrive after both the snapshot and a restart.
-	// Caller holds ioMu (or exclusively owns the collection), so the log is
-	// stable here.
-	reqs := make([]requestEntry, 0, len(c.requests.order))
-	for _, rid := range c.requests.order {
-		s := c.requests.ids[rid]
-		reqs = append(reqs, requestEntry{ID: rid, First: s.first, Count: s.count})
-	}
+	// Caller quiesced inserts (syncMu + ioMu, or exclusive ownership), so
+	// the log is stable here.
+	reqs := c.requests.entries()
 	m := meta{Name: c.name, Engine: engine, Generation: gen, Records: records,
 		SavedAt: time.Now().UTC(), Requests: reqs}
 	b, err := json.MarshalIndent(m, "", "  ")
