@@ -47,6 +47,7 @@ func main() {
 		dataDir     = flag.String("data", "./gbkmvd-data", "data directory for snapshots and journals; empty disables persistence")
 		engine      = flag.String("engine", gbkmv.DefaultEngine, "default sketch engine for builds that name none (one of: "+strings.Join(gbkmv.Engines(), ", ")+")")
 		recordFiles = flag.String("record-files", "", "directory server-side record files may be built from; empty disables file builds")
+		queryCache  = flag.Int("query-cache", server.DefaultQueryCacheEntries, "prepared-query cache entries per collection; 0 disables caching")
 		grace       = flag.Duration("grace", 10*time.Second, "graceful shutdown timeout")
 		readTimeout = flag.Duration("read-timeout", 5*time.Minute, "HTTP read timeout (bulk builds can be large)")
 	)
@@ -59,6 +60,7 @@ func main() {
 	if err := store.SetDefaultEngine(*engine); err != nil {
 		log.Fatalf("gbkmvd: -engine: %v", err)
 	}
+	store.SetQueryCacheSize(*queryCache)
 	if *recordFiles != "" {
 		if err := store.SetRecordFileRoot(*recordFiles); err != nil {
 			log.Fatalf("gbkmvd: -record-files: %v", err)

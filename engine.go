@@ -72,6 +72,13 @@ type PreparedQuery interface {
 	// Search returns the ids of all records whose estimated containment is
 	// at least threshold, ascending.
 	Search(threshold float64) []int
+	// SearchScored returns the hits Search would return with their
+	// containment estimates attached, ascending by id, plus the total
+	// qualifying count. limit > 0 caps the materialized hits (total still
+	// counts everything). Each returned record is estimated exactly once,
+	// which is why a serving layer should prefer this over Search followed
+	// by per-hit Estimate calls.
+	SearchScored(threshold float64, limit int) (hits []Scored, total int)
 	// TopK returns the k best records by estimated containment, best first.
 	TopK(k int) []Scored
 	// Estimate returns the estimated containment C(Q, X_i).

@@ -22,6 +22,7 @@ type sigEngine interface {
 	Engine
 	prepareSig(q Record) any
 	searchSig(sig any, qSize int, threshold float64) []int
+	searchScoredSig(sig any, qSize int, threshold float64, limit int) ([]Scored, int)
 	topkSig(sig any, qSize, k int) []Scored
 	estimateSig(sig any, qSize, i int) float64
 }
@@ -38,12 +39,15 @@ type enginePrepared struct {
 func (p *enginePrepared) Search(threshold float64) []int {
 	return p.e.searchSig(p.sig, p.size, threshold)
 }
+func (p *enginePrepared) SearchScored(threshold float64, limit int) ([]Scored, int) {
+	return p.e.searchScoredSig(p.sig, p.size, threshold, limit)
+}
 func (p *enginePrepared) TopK(k int) []Scored { return p.e.topkSig(p.sig, p.size, k) }
 func (p *enginePrepared) Estimate(i int) float64 {
 	return p.e.estimateSig(p.sig, p.size, i)
 }
-func (p *enginePrepared) Size() int      { return p.size }
-func (p *enginePrepared) SetSize(n int)  { p.size = n }
+func (p *enginePrepared) Size() int     { return p.size }
+func (p *enginePrepared) SetSize(n int) { p.size = n }
 func (p *enginePrepared) Clone() PreparedQuery {
 	cp := *p
 	return &cp
@@ -64,6 +68,42 @@ func searchByEstimate(n int, threshold float64, est func(i int) float64) []int {
 		}
 	}
 	return out
+}
+
+// searchScoredByEstimate is the scored form of searchByEstimate for the
+// scan-everything engines: the one estimate per record that decides
+// membership doubles as the hit's score, so returned ids are never
+// re-estimated. The scan runs in ascending id order, so truncating at limit
+// while counting the rest keeps the hits/total contract exact.
+func searchScoredByEstimate(n int, threshold float64, limit int, est func(i int) float64) ([]Scored, int) {
+	hits := []Scored{}
+	total := 0
+	for i := 0; i < n; i++ {
+		s := est(i)
+		if s >= threshold {
+			total++
+			if limit <= 0 || len(hits) < limit {
+				hits = append(hits, Scored{ID: i, Score: s})
+			}
+		}
+	}
+	return hits, total
+}
+
+// scoreCandidates is the scored form for the candidate-generation engines
+// (lshforest, lshensemble, exact): their search already returns the full
+// result set as ascending ids, so only the hits surviving the limit cut are
+// estimated — exactly once each.
+func scoreCandidates(cands []int, limit int, est func(i int) float64) ([]Scored, int) {
+	total := len(cands)
+	if limit > 0 && len(cands) > limit {
+		cands = cands[:limit]
+	}
+	hits := make([]Scored, len(cands))
+	for i, id := range cands {
+		hits[i] = Scored{ID: id, Score: est(id)}
+	}
+	return hits, total
 }
 
 // topkByEstimate scores the given candidate ids (all n records when cands is

@@ -34,8 +34,8 @@ func buildExactEngine(records []Record, opt EngineOptions) (Engine, error) {
 	return &exactEngine{opt: opt, pp: pp, records: records}, nil
 }
 
-func (e *exactEngine) EngineName() string { return "exact" }
-func (e *exactEngine) Len() int           { return len(e.records) }
+func (e *exactEngine) EngineName() string  { return "exact" }
+func (e *exactEngine) Len() int            { return len(e.records) }
 func (e *exactEngine) Record(i int) Record { return e.records[i] }
 
 func (e *exactEngine) Add(r Record) int { return e.AddBatch([]Record{r})[0] }
@@ -83,6 +83,12 @@ func (e *exactEngine) estimateSig(sig any, qSize, i int) float64 {
 		return 0
 	}
 	return float64(q.IntersectSize(e.records[i])) / float64(qSize)
+}
+
+func (e *exactEngine) searchScoredSig(sig any, qSize int, threshold float64, limit int) ([]Scored, int) {
+	return scoreCandidates(e.searchSig(sig, qSize, threshold), limit, func(i int) float64 {
+		return e.estimateSig(sig, qSize, i)
+	})
 }
 
 func (e *exactEngine) topkSig(sig any, qSize, k int) []Scored {

@@ -45,8 +45,8 @@ func buildKMVEngine(records []Record, opt EngineOptions) (Engine, error) {
 	return e, nil
 }
 
-func (e *kmvEngine) EngineName() string { return "kmv" }
-func (e *kmvEngine) Len() int           { return len(e.records) }
+func (e *kmvEngine) EngineName() string  { return "kmv" }
+func (e *kmvEngine) Len() int            { return len(e.records) }
 func (e *kmvEngine) Record(i int) Record { return e.records[i] }
 
 func (e *kmvEngine) Add(r Record) int { return e.AddBatch([]Record{r})[0] }
@@ -72,6 +72,12 @@ func (e *kmvEngine) estimateSig(sig any, qSize, i int) float64 {
 
 func (e *kmvEngine) searchSig(sig any, qSize int, threshold float64) []int {
 	return searchByEstimate(len(e.records), threshold, func(i int) float64 {
+		return e.estimateSig(sig, qSize, i)
+	})
+}
+
+func (e *kmvEngine) searchScoredSig(sig any, qSize int, threshold float64, limit int) ([]Scored, int) {
+	return searchScoredByEstimate(len(e.records), threshold, limit, func(i int) float64 {
 		return e.estimateSig(sig, qSize, i)
 	})
 }

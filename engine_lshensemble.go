@@ -56,8 +56,8 @@ func buildLSHEnsembleEngine(records []Record, opt EngineOptions) (Engine, error)
 	return e, nil
 }
 
-func (e *lshensembleEngine) EngineName() string { return "lshensemble" }
-func (e *lshensembleEngine) Len() int           { return len(e.records) }
+func (e *lshensembleEngine) EngineName() string  { return "lshensemble" }
+func (e *lshensembleEngine) Len() int            { return len(e.records) }
 func (e *lshensembleEngine) Record(i int) Record { return e.records[i] }
 
 func (e *lshensembleEngine) Add(r Record) int { return e.AddBatch([]Record{r})[0] }
@@ -100,6 +100,14 @@ func (e *lshensembleEngine) estimateSig(sig any, qSize, i int) float64 {
 	}
 	return clamp01(minhash.EstimateContainment(
 		sig.(minhash.Signature), e.sigs[i], qSize, len(e.records[i])))
+}
+
+// searchScoredSig attaches estimates to the ensemble's candidate set (the
+// full LSH-E result set), scoring only the hits surviving the limit cut.
+func (e *lshensembleEngine) searchScoredSig(sig any, qSize int, threshold float64, limit int) ([]Scored, int) {
+	return scoreCandidates(e.searchSig(sig, qSize, threshold), limit, func(i int) float64 {
+		return e.estimateSig(sig, qSize, i)
+	})
 }
 
 // topkSig scores the candidate union at a low threshold — LSH-E has no

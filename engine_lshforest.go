@@ -70,8 +70,8 @@ func buildLSHForestEngine(records []Record, opt EngineOptions) (Engine, error) {
 	return e, nil
 }
 
-func (e *lshforestEngine) EngineName() string { return "lshforest" }
-func (e *lshforestEngine) Len() int           { return len(e.records) }
+func (e *lshforestEngine) EngineName() string  { return "lshforest" }
+func (e *lshforestEngine) Len() int            { return len(e.records) }
 func (e *lshforestEngine) Record(i int) Record { return e.records[i] }
 
 func (e *lshforestEngine) Add(r Record) int { return e.AddBatch([]Record{r})[0] }
@@ -131,6 +131,15 @@ func (e *lshforestEngine) searchSig(sig any, qSize int, threshold float64) []int
 func (e *lshforestEngine) estimateSig(sig any, qSize, i int) float64 {
 	return clamp01(minhash.EstimateContainment(
 		sig.(minhash.Signature), e.sigs[i], qSize, len(e.records[i])))
+}
+
+// searchScoredSig attaches estimates to the forest's candidate set: the
+// candidates are the full (recall-leaning) result set, so only the hits
+// surviving the limit cut are scored, once each.
+func (e *lshforestEngine) searchScoredSig(sig any, qSize int, threshold float64, limit int) ([]Scored, int) {
+	return scoreCandidates(e.searchSig(sig, qSize, threshold), limit, func(i int) float64 {
+		return e.estimateSig(sig, qSize, i)
+	})
 }
 
 // topkSig scores the broadest candidate set (depth-1 probe of every tree)

@@ -62,8 +62,8 @@ func buildMinhashEngine(records []Record, opt EngineOptions) (Engine, error) {
 	return e, nil
 }
 
-func (e *minhashEngine) EngineName() string { return "minhash" }
-func (e *minhashEngine) Len() int           { return len(e.records) }
+func (e *minhashEngine) EngineName() string  { return "minhash" }
+func (e *minhashEngine) Len() int            { return len(e.records) }
 func (e *minhashEngine) Record(i int) Record { return e.records[i] }
 
 func (e *minhashEngine) Add(r Record) int { return e.AddBatch([]Record{r})[0] }
@@ -87,6 +87,12 @@ func (e *minhashEngine) estimateSig(sig any, qSize, i int) float64 {
 
 func (e *minhashEngine) searchSig(sig any, qSize int, threshold float64) []int {
 	return searchByEstimate(len(e.records), threshold, func(i int) float64 {
+		return e.estimateSig(sig, qSize, i)
+	})
+}
+
+func (e *minhashEngine) searchScoredSig(sig any, qSize int, threshold float64, limit int) ([]Scored, int) {
+	return searchScoredByEstimate(len(e.records), threshold, limit, func(i int) float64 {
 		return e.estimateSig(sig, qSize, i)
 	})
 }

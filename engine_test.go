@@ -457,3 +457,45 @@ func TestCrossEngineSearchSorted(t *testing.T) {
 		}
 	}
 }
+
+// TestCrossEngineSearchScored pins every engine's scored search to its
+// decomposed reference: SearchScored(t*, limit) must return exactly the
+// Search(t*) ids (ascending, truncated at limit), report the full result
+// count as total, and score each returned hit identically to Estimate. This
+// is the contract the server's read path relies on when it stops
+// re-estimating returned hits.
+func TestCrossEngineSearchScored(t *testing.T) {
+	records, queries := engineCorpus(t, 250)
+	for _, name := range gbkmv.Engines() {
+		t.Run(name, func(t *testing.T) {
+			e := buildEngine(t, name, records)
+			for _, q := range queries[:6] {
+				pq := e.PrepareQuery(q)
+				for _, tstar := range []float64{0, 0.3, 0.7} {
+					ids := e.Search(q, tstar)
+					for _, limit := range []int{0, 1, 5, len(ids)} {
+						hits, total := pq.Clone().SearchScored(tstar, limit)
+						if total != len(ids) {
+							t.Fatalf("t*=%v limit=%d: total %d, want %d", tstar, limit, total, len(ids))
+						}
+						want := ids
+						if limit > 0 && len(want) > limit {
+							want = want[:limit]
+						}
+						if len(hits) != len(want) {
+							t.Fatalf("t*=%v limit=%d: %d hits, want %d", tstar, limit, len(hits), len(want))
+						}
+						for i, h := range hits {
+							if h.ID != want[i] {
+								t.Fatalf("t*=%v limit=%d: hit %d id %d, want %d", tstar, limit, i, h.ID, want[i])
+							}
+							if est := e.Estimate(q, h.ID); h.Score != est {
+								t.Fatalf("t*=%v: id %d scored %v, Estimate %v", tstar, h.ID, h.Score, est)
+							}
+						}
+					}
+				}
+			}
+		})
+	}
+}

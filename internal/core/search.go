@@ -41,49 +41,7 @@ func (ix *Index) searchSigWith(sig *QuerySig, tstar float64, sc *searchScratch) 
 		}
 		return out
 	}
-	// Candidate generation: a record with zero buffer overlap and zero
-	// sketch overlap has estimate exactly 0 < θ, so only records appearing
-	// in at least one posting list can qualify. K∩ is accumulated exactly
-	// (same element ⇔ same hash value) in the epoch-stamped scratch.
-	sc.nextEpoch()
-	sc.touched = sc.touched[:0]
-	for _, e := range sig.rest {
-		for _, id := range ix.postings.get(e) {
-			sc.visit(id)
-			sc.counts[id]++
-		}
-	}
-	// A record with zero sketch overlap (K∩ = 0, so D̂∩ = 0) can still
-	// qualify through the exact buffer part when |H_Q ∩ H_X| ≥ θ. Such a
-	// record shares at least c = ⌈θ⌉ of the query's nq buffered bits, so —
-	// prefix-filter style — it must contain one of any fixed (nq − c + 1)
-	// of them. Scanning the nq−c+1 *rarest* query bits keeps this exact
-	// while skipping the head elements' huge lists; the rarity order comes
-	// from the index's cached bitOrder (refreshed by buildBufferPostings),
-	// so no per-query sort is paid. A slightly stale order after inserts
-	// changes only which equally-valid candidate superset is scanned, never
-	// the final results.
-	if sig.buffer != nil {
-		nq := sig.buffer.Count()
-		c := int(theta)
-		if float64(c) < theta {
-			c++ // ⌈θ⌉
-		}
-		if c >= 1 && c <= nq {
-			remaining := nq - c + 1
-			for _, bit := range ix.bitOrder {
-				if !sig.buffer.Get(int(bit)) {
-					continue
-				}
-				for _, id := range ix.bufferPostings[bit] {
-					sc.visit(id)
-				}
-				if remaining--; remaining == 0 {
-					break
-				}
-			}
-		}
-	}
+	ix.gatherSearchCandidates(sig, theta, sc)
 	// The paper's K∩ ≥ o prune (Section IV-B, "Implementation"): the
 	// G-KMV estimate is D̂∩ = K∩·(k−1)/(k·U(k)) ≤ K∩/U(k), and U(k) — the
 	// largest hash in L_Q ∪ L_X — is at least the largest hash of L_Q
@@ -110,6 +68,54 @@ func (ix *Index) searchSigWith(sig *QuerySig, tstar float64, sc *searchScratch) 
 	}
 	slices.Sort(out)
 	return out
+}
+
+// gatherSearchCandidates accumulates into sc.touched every record that can
+// possibly reach θ, with K∩ per candidate accumulated exactly in sc.counts.
+// A record with zero buffer overlap and zero sketch overlap has estimate
+// exactly 0 < θ, so only records appearing in at least one posting list can
+// qualify (same element ⇔ same hash value, so the sketch-element walk counts
+// K∩ exactly).
+//
+// A record with zero sketch overlap (K∩ = 0, so D̂∩ = 0) can still qualify
+// through the exact buffer part when |H_Q ∩ H_X| ≥ θ. Such a record shares
+// at least c = ⌈θ⌉ of the query's nq buffered bits, so — prefix-filter
+// style — it must contain one of any fixed (nq − c + 1) of them. Scanning
+// the nq−c+1 *rarest* query bits keeps this exact while skipping the head
+// elements' huge lists; the rarity order comes from the index's cached
+// bitOrder (refreshed by buildBufferPostings), so no per-query sort is paid.
+// A slightly stale order after inserts changes only which equally-valid
+// candidate superset is scanned, never the final results.
+func (ix *Index) gatherSearchCandidates(sig *QuerySig, theta float64, sc *searchScratch) {
+	sc.nextEpoch()
+	sc.touched = sc.touched[:0]
+	for _, e := range sig.rest {
+		for _, id := range ix.postings.get(e) {
+			sc.visit(id)
+			sc.counts[id]++
+		}
+	}
+	if sig.buffer != nil {
+		nq := sig.buffer.Count()
+		c := int(theta)
+		if float64(c) < theta {
+			c++ // ⌈θ⌉
+		}
+		if c >= 1 && c <= nq {
+			remaining := nq - c + 1
+			for _, bit := range ix.bitOrder {
+				if !sig.buffer.Get(int(bit)) {
+					continue
+				}
+				for _, id := range ix.bufferPostings[bit] {
+					sc.visit(id)
+				}
+				if remaining--; remaining == 0 {
+					break
+				}
+			}
+		}
+	}
 }
 
 // SearchLinear is the plain Algorithm 2 of the paper: it scans every record,

@@ -1,0 +1,76 @@
+package core
+
+import (
+	"testing"
+
+	"gbkmv/internal/dataset"
+)
+
+// TestSearchSigScoredMatchesSearchPlusEstimate pins the scored search to its
+// decomposed reference: SearchSigScored(t*, limit) must return exactly the
+// SearchSig(t*) ids (ascending, truncated at limit), report the full
+// qualifying count as total, and score every returned hit bit-identically to
+// EstimateContainment — across buffer configurations, thresholds, limits,
+// and after dynamic inserts (which exercise the deferred buffer-accept path
+// and a possibly shrunk τ).
+func TestSearchSigScoredMatchesSearchPlusEstimate(t *testing.T) {
+	d := testDataset(t, 250)
+	queries := d.SampleQueries(10, 9)
+	for _, opt := range []Options{
+		{BudgetFraction: 0.1, BufferBits: AutoBuffer, Seed: testSeed},
+		{BudgetFraction: 0.08, BufferBits: 0 /* no buffer */, Seed: testSeed + 1},
+		{BudgetFraction: 0.3, BufferBits: 128, Seed: testSeed + 2},
+	} {
+		ix, err := BuildIndex(d, opt)
+		if err != nil {
+			t.Fatal(err)
+		}
+		check := func(stage string) {
+			for qi, q := range queries {
+				sig := ix.Sketch(q)
+				for _, tstar := range []float64{0, 0.2, 0.5, 0.9} {
+					ids := ix.SearchSig(sig, tstar)
+					for _, limit := range []int{0, 1, 7, len(ids), len(ids) + 3} {
+						scored, total := ix.SearchSigScored(sig, tstar, limit)
+						if total != len(ids) {
+							t.Fatalf("%s q%d t*=%v limit=%d: total %d, want %d",
+								stage, qi, tstar, limit, total, len(ids))
+						}
+						want := ids
+						if limit > 0 && len(want) > limit {
+							want = want[:limit]
+						}
+						if len(scored) != len(want) {
+							t.Fatalf("%s q%d t*=%v limit=%d: %d hits, want %d",
+								stage, qi, tstar, limit, len(scored), len(want))
+						}
+						for i, s := range scored {
+							if s.ID != want[i] {
+								t.Fatalf("%s q%d t*=%v limit=%d: hit %d id %d, want %d",
+									stage, qi, tstar, limit, i, s.ID, want[i])
+							}
+							if est := ix.EstimateContainment(sig, s.ID); s.Score != est {
+								t.Fatalf("%s q%d t*=%v: id %d scored %v, EstimateContainment %v",
+									stage, qi, tstar, s.ID, s.Score, est)
+							}
+						}
+					}
+				}
+			}
+		}
+		check("built")
+		// Inserts under a tight budget trigger a threshold shrink and leave
+		// the cached bitOrder slightly stale — the scored walk must stay
+		// equivalent through both.
+		extra, err := dataset.Synthetic(dataset.SyntheticConfig{
+			NumRecords: 40, Universe: 4000,
+			AlphaFreq: 1.1, AlphaSize: 2.2,
+			MinSize: 40, MaxSize: 300,
+		}, 123)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ix.AddRecords(extra.Records)
+		check("after-insert")
+	}
+}

@@ -23,6 +23,8 @@ const maxBodyBytes = 256 << 20
 //	POST   /collections/{name}/records   dynamic insert (batched, journaled)
 //	POST   /collections/{name}/search    threshold containment search
 //	POST   /collections/{name}/topk      top-k containment search
+//	POST   /collections/{name}/search:batch  many searches in one request
+//	POST   /collections/{name}/topk:batch    many top-k queries in one request
 //	POST   /collections/{name}/snapshot  persist now, truncating the journal
 func Handler(s *Store) http.Handler {
 	h := &api{store: s}
@@ -35,6 +37,8 @@ func Handler(s *Store) http.Handler {
 	mux.HandleFunc("POST /collections/{name}/records", h.insert)
 	mux.HandleFunc("POST /collections/{name}/search", h.search)
 	mux.HandleFunc("POST /collections/{name}/topk", h.topk)
+	mux.HandleFunc("POST /collections/{name}/search:batch", h.searchBatch)
+	mux.HandleFunc("POST /collections/{name}/topk:batch", h.topkBatch)
 	mux.HandleFunc("POST /collections/{name}/snapshot", h.snapshot)
 	return mux
 }
@@ -45,12 +49,6 @@ type api struct {
 
 type errorResponse struct {
 	Error string `json:"error"`
-}
-
-func writeJSON(w http.ResponseWriter, status int, v any) {
-	w.Header().Set("Content-Type", "application/json")
-	w.WriteHeader(status)
-	json.NewEncoder(w).Encode(v)
 }
 
 func writeError(w http.ResponseWriter, status int, format string, args ...any) {
@@ -265,8 +263,10 @@ func (h *api) insert(w http.ResponseWriter, r *http.Request) {
 }
 
 type searchRequest struct {
-	Query     []string `json:"query"`
-	Threshold float64  `json:"threshold"`
+	// Query is kept as raw JSON: a byte-identical hot query resolves through
+	// the prepared-query cache's exact-bytes key without per-token decoding.
+	Query     json.RawMessage `json:"query"`
+	Threshold float64         `json:"threshold"`
 	// Limit caps the hits returned; 0 means all. The total qualifying count
 	// is always reported.
 	Limit int `json:"limit"`
@@ -287,18 +287,22 @@ func (h *api) search(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, "threshold must be in [0, 1]")
 		return
 	}
-	hits, total, err := c.Search(req.Query, req.Threshold, req.Limit, req.WithTokens)
+	sc := getResp()
+	defer putResp(sc)
+	hits, total, err := c.SearchRaw(req.Query, req.Threshold, req.Limit, req.WithTokens, sc.hits[:0])
 	if err != nil {
 		writeError(w, http.StatusBadRequest, "search: %v", err)
 		return
 	}
-	writeJSON(w, http.StatusOK, map[string]any{"count": total, "hits": hits})
+	sc.hits = hits
+	sc.b = appendSearchResponse(sc.b[:0], total, hits)
+	writeRaw(w, http.StatusOK, sc.b)
 }
 
 type topkRequest struct {
-	Query      []string `json:"query"`
-	K          int      `json:"k"`
-	WithTokens bool     `json:"with_tokens"`
+	Query      json.RawMessage `json:"query"`
+	K          int             `json:"k"`
+	WithTokens bool            `json:"with_tokens"`
 }
 
 func (h *api) topk(w http.ResponseWriter, r *http.Request) {
@@ -314,12 +318,93 @@ func (h *api) topk(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, "k must be positive")
 		return
 	}
-	hits, err := c.TopK(req.Query, req.K, req.WithTokens)
+	sc := getResp()
+	defer putResp(sc)
+	hits, err := c.TopKRaw(req.Query, req.K, req.WithTokens, sc.hits[:0])
 	if err != nil {
 		writeError(w, http.StatusBadRequest, "topk: %v", err)
 		return
 	}
-	writeJSON(w, http.StatusOK, map[string]any{"hits": hits})
+	sc.hits = hits
+	sc.b = appendTopKResponse(sc.b[:0], hits)
+	writeRaw(w, http.StatusOK, sc.b)
+}
+
+// maxBatchQueries bounds one batch request: the whole batch runs under a
+// single read-lock acquisition, so an unbounded batch could starve writers.
+const maxBatchQueries = 1024
+
+type batchSearchRequest struct {
+	Queries    []json.RawMessage `json:"queries"`
+	Threshold  float64           `json:"threshold"`
+	Limit      int               `json:"limit"`
+	WithTokens bool              `json:"with_tokens"`
+}
+
+// searchBatch answers many threshold searches in one request: each distinct
+// query is prepared once, the batch fans out across a bounded worker pool,
+// and lock acquisition plus response encoding are amortized over the batch.
+// Per-query failures (e.g. an empty query) fail only their result slot.
+func (h *api) searchBatch(w http.ResponseWriter, r *http.Request) {
+	c, ok := h.collection(w, r)
+	if !ok {
+		return
+	}
+	var req batchSearchRequest
+	if !decode(w, r, &req) {
+		return
+	}
+	if len(req.Queries) == 0 {
+		writeError(w, http.StatusBadRequest, "no queries")
+		return
+	}
+	if len(req.Queries) > maxBatchQueries {
+		writeError(w, http.StatusBadRequest, "batch of %d queries exceeds the limit of %d", len(req.Queries), maxBatchQueries)
+		return
+	}
+	if req.Threshold < 0 || req.Threshold > 1 {
+		writeError(w, http.StatusBadRequest, "threshold must be in [0, 1]")
+		return
+	}
+	results := c.SearchBatch(req.Queries, req.Threshold, req.Limit, req.WithTokens)
+	sc := getResp()
+	defer putResp(sc)
+	sc.b = appendBatchResponse(sc.b[:0], results, true)
+	writeRaw(w, http.StatusOK, sc.b)
+}
+
+type batchTopKRequest struct {
+	Queries    []json.RawMessage `json:"queries"`
+	K          int               `json:"k"`
+	WithTokens bool              `json:"with_tokens"`
+}
+
+func (h *api) topkBatch(w http.ResponseWriter, r *http.Request) {
+	c, ok := h.collection(w, r)
+	if !ok {
+		return
+	}
+	var req batchTopKRequest
+	if !decode(w, r, &req) {
+		return
+	}
+	if len(req.Queries) == 0 {
+		writeError(w, http.StatusBadRequest, "no queries")
+		return
+	}
+	if len(req.Queries) > maxBatchQueries {
+		writeError(w, http.StatusBadRequest, "batch of %d queries exceeds the limit of %d", len(req.Queries), maxBatchQueries)
+		return
+	}
+	if req.K <= 0 {
+		writeError(w, http.StatusBadRequest, "k must be positive")
+		return
+	}
+	results := c.TopKBatch(req.Queries, req.K, req.WithTokens)
+	sc := getResp()
+	defer putResp(sc)
+	sc.b = appendBatchResponse(sc.b[:0], results, false)
+	writeRaw(w, http.StatusOK, sc.b)
 }
 
 func (h *api) snapshot(w http.ResponseWriter, r *http.Request) {

@@ -1,0 +1,236 @@
+package server
+
+import (
+	"container/list"
+	"encoding/binary"
+	"slices"
+	"sync"
+	"sync/atomic"
+
+	"gbkmv"
+)
+
+// queryCache is the per-collection prepared-query cache: a sharded LRU over
+// engine PreparedQuerys keyed by (collection query generation, canonical
+// token key). Hashing a query into its signature is the dominant per-request
+// cost for hot queries; the cache computes it once per (generation, query)
+// and hands out cheap clones.
+//
+// Correctness rests on two invariants enforced by the Collection:
+//
+//   - The query generation (Collection.queryGen) is bumped inside the same
+//     write-lock critical section that mutates the engine, and both lookups
+//     and stores read it under the collection's read lock. A cached entry is
+//     therefore only ever served against the *identical* engine state it was
+//     prepared under; entries keyed by an older generation simply stop
+//     matching and age out through the LRU (no scan, no explicit flush).
+//   - The cached PreparedQuery instance is never used for a query: lookup
+//     returns the shared instance, and callers either Clone it (outside the
+//     shard lock — safe because the shared instance is never mutated, and a
+//     concurrent put of the same key swaps the entry's interface value
+//     rather than mutating the old instance) or re-put it verbatim under an
+//     alias key. All per-request mutable state (size overrides, the gbkmv
+//     threshold-tracking rebuild slot) lives in the clones.
+//
+// The cache is two-keyed. The canonical (L2) key is the query's token
+// *set* — distinct tokens, sorted, each length-prefixed (uvarint) so no
+// token content can alias a boundary — which means "a b", "b a" and
+// "b a b" share one entry and one signature. The raw (L1) key is the
+// verbatim JSON bytes of the query array: a hot query repeats byte-
+// identically, and an exact-bytes hit skips the per-token JSON decode and
+// the canonicalization entirely, not just the sketch. Both key spaces live
+// in the same LRU (distinguished by a prefix byte) and may reference the
+// same shared PreparedQuery; a raw key that misses falls back to the
+// canonical lookup and installs itself as an alias on the way out.
+type queryCache struct {
+	shards                  []qcShard
+	hits, misses, evictions atomic.Uint64
+}
+
+// Key-space prefixes: a raw-bytes key can never collide with a canonical
+// encoding.
+const (
+	rawKeyPrefix   = 'r'
+	canonKeyPrefix = 'c'
+)
+
+// maxRawKeyBytes bounds the raw-key alias: outsized query bodies skip L1
+// (they still dedupe through the canonical key when small enough in tokens)
+// so a few giant queries cannot dominate the cache's memory.
+const maxRawKeyBytes = 4096
+
+// maxCachedQueryTokens bounds what enters the cache at all: beyond it a
+// query is prepared uncached. The cache capacity counts entries, not bytes,
+// and both the canonical key and the cached prepared query retain O(|Q|)
+// state — without this bound an unauthenticated client posting distinct
+// multi-megabyte queries could pin entries × |Q| memory per collection.
+const maxCachedQueryTokens = 1024
+
+// qcShards is the shard count (power of two). Per-collection caches see at
+// most one HTTP handler per in-flight request, so a small constant keeps the
+// lock spread wide enough without bloating empty caches.
+const qcShards = 8
+
+type qcShard struct {
+	mu  sync.Mutex
+	cap int // max entries in this shard (≥ 1)
+	m   map[string]*list.Element
+	lru list.List // front = most recently used
+}
+
+// qcEntry is one cached prepared query. A gen older than the collection's
+// current query generation makes the entry dead: lookups miss it and the
+// next put for the same key overwrites it in place.
+type qcEntry struct {
+	key string
+	gen uint64
+	pq  gbkmv.PreparedQuery
+}
+
+// newQueryCache returns a cache holding up to capacity entries in total, or
+// nil when capacity <= 0 (caching disabled).
+func newQueryCache(capacity int) *queryCache {
+	if capacity <= 0 {
+		return nil
+	}
+	qc := &queryCache{shards: make([]qcShard, qcShards)}
+	per := (capacity + qcShards - 1) / qcShards
+	if per < 1 {
+		per = 1
+	}
+	for i := range qc.shards {
+		qc.shards[i].cap = per
+		qc.shards[i].m = make(map[string]*list.Element)
+	}
+	return qc
+}
+
+// qkeyScratch holds the pooled buffers of one request's key building (the
+// raw and canonical keys coexist on the miss path, hence two buffers).
+type qkeyScratch struct {
+	toks []string
+	key  []byte
+	raw  []byte
+}
+
+var qkeyPool = sync.Pool{New: func() any { return new(qkeyScratch) }}
+
+// canonicalKey writes the canonical cache key of a token query into the
+// scratch buffer and returns it (valid until the scratch is reused): the
+// distinct tokens sorted, each prefixed with its uvarint length. The
+// length prefix — rather than a separator byte — keeps keys unambiguous for
+// arbitrary token bytes, so two different queries can never share a key.
+func canonicalKey(tokens []string, sc *qkeyScratch) []byte {
+	sc.toks = append(sc.toks[:0], tokens...)
+	slices.Sort(sc.toks)
+	key := append(sc.key[:0], canonKeyPrefix)
+	for i, t := range sc.toks {
+		if i > 0 && t == sc.toks[i-1] {
+			continue // duplicates don't change the query set
+		}
+		key = binary.AppendUvarint(key, uint64(len(t)))
+		key = append(key, t...)
+	}
+	sc.key = key
+	return key
+}
+
+// rawQueryKey writes the exact-bytes cache key of a query's verbatim JSON
+// into the scratch buffer, or nil when the query is too large to alias.
+func rawQueryKey(raw []byte, sc *qkeyScratch) []byte {
+	if len(raw) > maxRawKeyBytes {
+		return nil
+	}
+	sc.raw = append(append(sc.raw[:0], rawKeyPrefix), raw...)
+	return sc.raw
+}
+
+// shardFor selects a shard by FNV-1a over the canonical key.
+func (qc *queryCache) shardFor(key []byte) *qcShard {
+	const (
+		offset64 = 14695981039346656037
+		prime64  = 1099511628211
+	)
+	h := uint64(offset64)
+	for _, b := range key {
+		h ^= uint64(b)
+		h *= prime64
+	}
+	return &qc.shards[h&(qcShards-1)]
+}
+
+// lookup returns the shared cached prepared query for (gen, key), if
+// present and current. The map lookup uses the raw key bytes (no string
+// allocation on the hit path). Counting is the caller's job — one request
+// may probe both key spaces but must count as one hit or one miss. The
+// returned instance is shared: callers may Clone it (read-only) or re-put
+// it under an alias key, never use it for a query directly.
+func (qc *queryCache) lookup(gen uint64, key []byte) (gbkmv.PreparedQuery, bool) {
+	if key == nil {
+		return nil, false
+	}
+	sh := qc.shardFor(key)
+	sh.mu.Lock()
+	el, ok := sh.m[string(key)]
+	if !ok || el.Value.(*qcEntry).gen != gen {
+		sh.mu.Unlock()
+		return nil, false
+	}
+	sh.lru.MoveToFront(el)
+	pq := el.Value.(*qcEntry).pq
+	sh.mu.Unlock()
+	return pq, true
+}
+
+// put stores pq for (gen, key). pq must never again be used directly by the
+// caller for queries (hand in the freshly prepared instance — or a shared
+// instance from lookup, for alias keys — and query through a clone). An
+// existing entry for the same key — current or stale — is overwritten in
+// place, so dead generations never accumulate behind a hot key.
+func (qc *queryCache) put(gen uint64, key []byte, pq gbkmv.PreparedQuery) {
+	if key == nil {
+		return
+	}
+	sh := qc.shardFor(key)
+	sh.mu.Lock()
+	if el, ok := sh.m[string(key)]; ok {
+		e := el.Value.(*qcEntry)
+		e.gen, e.pq = gen, pq
+		sh.lru.MoveToFront(el)
+		sh.mu.Unlock()
+		return
+	}
+	if sh.lru.Len() >= sh.cap {
+		back := sh.lru.Back()
+		delete(sh.m, back.Value.(*qcEntry).key)
+		sh.lru.Remove(back)
+		qc.evictions.Add(1)
+	}
+	k := string(key)
+	sh.m[k] = sh.lru.PushFront(&qcEntry{key: k, gen: gen, pq: pq})
+	sh.mu.Unlock()
+}
+
+// QueryCacheStats is the per-collection cache report surfaced in /stats.
+type QueryCacheStats struct {
+	Hits      uint64 `json:"hits"`
+	Misses    uint64 `json:"misses"`
+	Evictions uint64 `json:"evictions"`
+	Entries   int    `json:"entries"`
+}
+
+// stats snapshots the counters. Entries takes each shard lock briefly.
+func (qc *queryCache) stats() QueryCacheStats {
+	st := QueryCacheStats{
+		Hits:      qc.hits.Load(),
+		Misses:    qc.misses.Load(),
+		Evictions: qc.evictions.Load(),
+	}
+	for i := range qc.shards {
+		sh := &qc.shards[i]
+		sh.mu.Lock()
+		st.Entries += len(sh.m)
+		sh.mu.Unlock()
+	}
+	return st
+}

@@ -9,10 +9,12 @@ import (
 	"os"
 	"path/filepath"
 	"regexp"
+	"runtime"
 	"sort"
 	"strconv"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"gbkmv"
@@ -48,6 +50,7 @@ type Store struct {
 	dir        string // data directory; "" disables persistence
 	fileRoot   string // root for server-side file builds; "" disables them
 	defaultEng string // engine used when a build names none
+	cacheCap   int    // prepared-query cache entries per collection; 0 disables
 	logf       func(format string, args ...any)
 
 	opMu sync.Mutex // serializes build/delete/snapshot/close (all disk mutation)
@@ -63,7 +66,8 @@ func NewStore(dir string, logf func(format string, args ...any)) (*Store, error)
 	if logf == nil {
 		logf = log.Printf
 	}
-	s := &Store{dir: dir, defaultEng: gbkmv.DefaultEngine, logf: logf, cols: make(map[string]*Collection)}
+	s := &Store{dir: dir, defaultEng: gbkmv.DefaultEngine, cacheCap: DefaultQueryCacheEntries,
+		logf: logf, cols: make(map[string]*Collection)}
 	if dir == "" {
 		return s, nil
 	}
@@ -87,6 +91,7 @@ func NewStore(dir string, logf func(format string, args ...any)) (*Store, error)
 			s.logf("gbkmvd: skipping collection %q: %v", e.Name(), err)
 			continue
 		}
+		c.qcache = newQueryCache(s.cacheCap)
 		s.cols[c.name] = c
 		s.logf("gbkmvd: loaded collection %q: engine %s, %d records (%d replayed from journal)",
 			c.name, c.eng.EngineName(), c.eng.Len(), c.journaled)
@@ -111,6 +116,32 @@ func (s *Store) SetDefaultEngine(name string) error {
 
 // DefaultEngine returns the engine used when a build request names none.
 func (s *Store) DefaultEngine() string { return s.defaultEng }
+
+// DefaultQueryCacheEntries is the per-collection prepared-query cache size
+// used when SetQueryCacheSize was never called.
+const DefaultQueryCacheEntries = 4096
+
+// SetQueryCacheSize sets the prepared-query cache capacity (entries per
+// collection; 0 disables caching) for collections created or loaded from now
+// on, and swaps the cache of every existing collection. Safe to call while
+// serving: the swap runs under each collection's write lock.
+func (s *Store) SetQueryCacheSize(entries int) {
+	if entries < 0 {
+		entries = 0
+	}
+	s.mu.Lock()
+	s.cacheCap = entries
+	cols := make([]*Collection, 0, len(s.cols))
+	for _, c := range s.cols {
+		cols = append(cols, c)
+	}
+	s.mu.Unlock()
+	for _, c := range cols {
+		c.mu.Lock()
+		c.qcache = newQueryCache(entries)
+		c.mu.Unlock()
+	}
+}
 
 // SetRecordFileRoot enables PUT builds from server-side files, restricted
 // to paths under root. Without it, file builds are rejected: an
@@ -198,7 +229,11 @@ func (s *Store) Create(name string, voc *gbkmv.Vocabulary, eng gbkmv.Engine) (*C
 		// replacement is about to delete.
 		old.closeJournal()
 	}
-	c := &Collection{name: name, voc: voc, eng: eng, requests: newRequestLog()}
+	s.mu.RLock()
+	cacheCap := s.cacheCap
+	s.mu.RUnlock()
+	c := &Collection{name: name, voc: voc, eng: eng, requests: newRequestLog(),
+		qcache: newQueryCache(cacheCap)}
 	if s.dir != "" {
 		c.dir = filepath.Join(s.dir, name)
 		// Chain generations past any state already on disk so the new
@@ -351,8 +386,18 @@ type Collection struct {
 	mu        sync.RWMutex
 	voc       *gbkmv.Vocabulary
 	eng       gbkmv.Engine
-	gen       uint64 // generation of the current on-disk snapshot
-	journaled int    // entries in the current journal
+	qcache    *queryCache // prepared-query cache; nil when disabled
+	gen       uint64      // generation of the current on-disk snapshot
+	journaled int         // entries in the current journal
+
+	// queryGen is the query generation: the cache key epoch of the engine's
+	// in-memory state, bumped inside the write-lock critical section of every
+	// engine mutation (applyBatch). It is deliberately distinct from gen (the
+	// on-disk snapshot generation): a snapshot changes no query result and
+	// must not blow the cache, while an insert changes results without
+	// touching gen. Build and reload invalidate by construction — they
+	// install a fresh Collection with an empty cache.
+	queryGen atomic.Uint64
 }
 
 // commitState is the group-commit machinery of one collection.
@@ -490,59 +535,280 @@ func (c *Collection) Engine() string {
 	return c.eng.EngineName()
 }
 
-// prepare converts query tokens through the vocabulary without allocating
-// ids, keeping the true |Q| (unknown tokens shrink containment, they don't
-// vanish). Caller must hold at least the read lock.
-func (c *Collection) prepare(tokens []string) (gbkmv.PreparedQuery, error) {
-	return gbkmv.PrepareTokens(c.eng, c.voc, tokens)
-}
-
-// Search returns records with estimated containment ≥ threshold, scored, in
-// ascending id order, together with the total number of qualifying records.
-// limit > 0 caps the hits that are scored and materialized — a threshold-0
-// query against a large collection must not pay O(N) estimates and token
-// slices for a page of 10. (Each returned hit is estimated once more than
-// strictly necessary; that duplication is bounded by limit, whereas scoring
-// inside the core search would be bounded only by the collection.)
-func (c *Collection) Search(tokens []string, threshold float64, limit int, withTokens bool) (hits []Hit, total int, err error) {
-	c.mu.RLock()
-	defer c.mu.RUnlock()
-	q, err := c.prepare(tokens)
-	if err != nil {
-		return nil, 0, err
+// prepared returns a prepared query for the tokens, through the cache's
+// canonical key when one is enabled. Caller must hold at least the read
+// lock (which is what makes the generation read exact: writers bump
+// queryGen under the write lock, so a cache hit is always against the
+// engine state it was prepared under). The returned query is private to the
+// caller.
+func (c *Collection) prepared(tokens []string) (gbkmv.PreparedQuery, error) {
+	if c.qcache == nil || len(tokens) > maxCachedQueryTokens {
+		return gbkmv.PrepareTokens(c.eng, c.voc, tokens)
 	}
-	ids := q.Search(threshold)
-	total = len(ids)
-	if limit > 0 && len(ids) > limit {
-		ids = ids[:limit]
+	sc := qkeyPool.Get().(*qkeyScratch)
+	defer qkeyPool.Put(sc)
+	gen := c.queryGen.Load()
+	key := canonicalKey(tokens, sc)
+	if shared, ok := c.qcache.lookup(gen, key); ok {
+		c.qcache.hits.Add(1)
+		return shared.Clone(), nil
 	}
-	hits = make([]Hit, len(ids))
-	for i, id := range ids {
-		hits[i] = Hit{ID: id, Estimate: q.Estimate(id)}
-		if withTokens {
-			hits[i].Tokens = c.voc.Tokens(c.eng.Record(id))
-		}
-	}
-	return hits, total, nil
-}
-
-// TopK returns the k best records by estimated containment, best first.
-func (c *Collection) TopK(tokens []string, k int, withTokens bool) ([]Hit, error) {
-	c.mu.RLock()
-	defer c.mu.RUnlock()
-	q, err := c.prepare(tokens)
+	c.qcache.misses.Add(1)
+	pq, err := gbkmv.PrepareTokens(c.eng, c.voc, tokens)
 	if err != nil {
 		return nil, err
 	}
-	scored := q.TopK(k)
-	hits := make([]Hit, len(scored))
-	for i, s := range scored {
-		hits[i] = Hit{ID: s.ID, Estimate: s.Score}
-		if withTokens {
-			hits[i].Tokens = c.voc.Tokens(c.eng.Record(s.ID))
-		}
+	c.qcache.put(gen, key, pq) // the cache owns pq; hand out a clone
+	return pq.Clone(), nil
+}
+
+// decodeQueryTokens unmarshals a raw query (the verbatim JSON of a request's
+// query array) into its tokens.
+func decodeQueryTokens(raw []byte) ([]string, error) {
+	var tokens []string
+	if err := json.Unmarshal(raw, &tokens); err != nil {
+		return nil, fmt.Errorf("query must be a JSON array of strings: %v", err)
 	}
-	return hits, nil
+	return tokens, nil
+}
+
+// preparedRaw returns a prepared query for a request's verbatim query JSON.
+// The hot path is the exact-bytes (L1) lookup: a repeated query skips the
+// per-token JSON decode, the canonicalization *and* the sketch. On an L1
+// miss the tokens are decoded once and resolved through the canonical (L2)
+// key — preparing only if that misses too — and the raw key is installed as
+// an alias to the shared prepared query so the next byte-identical request
+// takes the fast path. Caller holds the read lock.
+func (c *Collection) preparedRaw(raw []byte) (gbkmv.PreparedQuery, error) {
+	if c.qcache == nil {
+		tokens, err := decodeQueryTokens(raw)
+		if err != nil {
+			return nil, err
+		}
+		return gbkmv.PrepareTokens(c.eng, c.voc, tokens)
+	}
+	sc := qkeyPool.Get().(*qkeyScratch)
+	defer qkeyPool.Put(sc)
+	gen := c.queryGen.Load()
+	rawKey := rawQueryKey(raw, sc)
+	if shared, ok := c.qcache.lookup(gen, rawKey); ok {
+		c.qcache.hits.Add(1)
+		return shared.Clone(), nil
+	}
+	tokens, err := decodeQueryTokens(raw)
+	if err != nil {
+		return nil, err
+	}
+	if len(tokens) > maxCachedQueryTokens {
+		// Too large to cache under either key; prepare uncached.
+		return gbkmv.PrepareTokens(c.eng, c.voc, tokens)
+	}
+	key := canonicalKey(tokens, sc)
+	if shared, ok := c.qcache.lookup(gen, key); ok {
+		c.qcache.hits.Add(1)
+		c.qcache.put(gen, rawKey, shared)
+		return shared.Clone(), nil
+	}
+	c.qcache.misses.Add(1)
+	pq, err := gbkmv.PrepareTokens(c.eng, c.voc, tokens)
+	if err != nil {
+		return nil, err
+	}
+	c.qcache.put(gen, key, pq)
+	c.qcache.put(gen, rawKey, pq)
+	return pq.Clone(), nil
+}
+
+// appendHits materializes scored results as Hits into dst (callers pass a
+// pooled buffer). Caller holds the read lock.
+func (c *Collection) appendHits(dst []Hit, scored []gbkmv.Scored, withTokens bool) []Hit {
+	for _, s := range scored {
+		h := Hit{ID: s.ID, Estimate: s.Score}
+		if withTokens {
+			h.Tokens = c.voc.Tokens(c.eng.Record(s.ID))
+		}
+		dst = append(dst, h)
+	}
+	return dst
+}
+
+// Search returns records with estimated containment ≥ threshold, scored, in
+// ascending id order, together with the total number of qualifying records,
+// appending the materialized hits to dst (pass nil, or a pooled buffer, to
+// bound steady-state allocation). limit > 0 caps the hits that are scored
+// and materialized — a threshold-0 query against a large collection must not
+// pay O(N) estimates and token slices for a page of 10. Each returned hit is
+// estimated exactly once: the engine's SearchScored reports the estimate
+// that decided membership during the candidate walk.
+func (c *Collection) Search(tokens []string, threshold float64, limit int, withTokens bool, dst []Hit) (hits []Hit, total int, err error) {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	q, err := c.prepared(tokens)
+	if err != nil {
+		return nil, 0, err
+	}
+	scored, total := q.SearchScored(threshold, limit)
+	return c.appendHits(dst, scored, withTokens), total, nil
+}
+
+// SearchRaw is Search taking the query as its verbatim request JSON (an
+// array of token strings), which lets a repeated query resolve through the
+// exact-bytes cache key without decoding tokens at all.
+func (c *Collection) SearchRaw(rawQuery []byte, threshold float64, limit int, withTokens bool, dst []Hit) (hits []Hit, total int, err error) {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	q, err := c.preparedRaw(rawQuery)
+	if err != nil {
+		return nil, 0, err
+	}
+	scored, total := q.SearchScored(threshold, limit)
+	return c.appendHits(dst, scored, withTokens), total, nil
+}
+
+// TopK returns the k best records by estimated containment, best first,
+// appending to dst as Search does.
+func (c *Collection) TopK(tokens []string, k int, withTokens bool, dst []Hit) ([]Hit, error) {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	q, err := c.prepared(tokens)
+	if err != nil {
+		return nil, err
+	}
+	return c.appendHits(dst, q.TopK(k), withTokens), nil
+}
+
+// TopKRaw is TopK taking the query as its verbatim request JSON.
+func (c *Collection) TopKRaw(rawQuery []byte, k int, withTokens bool, dst []Hit) ([]Hit, error) {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	q, err := c.preparedRaw(rawQuery)
+	if err != nil {
+		return nil, err
+	}
+	return c.appendHits(dst, q.TopK(k), withTokens), nil
+}
+
+// BatchResult is one query's slot in a batch search or top-k response: its
+// hits, the total qualifying count (searches only), or the per-query error.
+// Queries are independent — one empty query fails its slot, not the batch.
+type BatchResult struct {
+	Hits  []Hit
+	Total int
+	Err   error
+}
+
+// batchSlot is one *distinct* query of a batch: duplicates within the batch
+// share a slot, so each distinct query is prepared (or cache-hit) exactly
+// once — lazily, by whichever worker reaches it first, so a cold batch's
+// sketching work parallelizes along with its searches instead of running
+// serially before the fan-out.
+type batchSlot struct {
+	raw  json.RawMessage
+	once sync.Once
+	pq   gbkmv.PreparedQuery
+	err  error
+}
+
+// prepared resolves the slot's query, preparing on first use (query
+// sketching is a read: engines allow concurrent PrepareQuery, exactly as
+// the core SearchBatch's workers sketch concurrently). Duplicate queries
+// block on the first worker's prepare and then share the result.
+func (s *batchSlot) prepared(c *Collection) (gbkmv.PreparedQuery, error) {
+	s.once.Do(func() { s.pq, s.err = c.preparedRaw(s.raw) })
+	return s.pq, s.err
+}
+
+// dedupBatch groups the batch into distinct-query slots (detected on the
+// verbatim query bytes; permuted duplicates still share a signature through
+// the cache's canonical key) and maps every batch position to its slot.
+func dedupBatch(queries []json.RawMessage) ([]batchSlot, []int) {
+	slots := make([]batchSlot, 0, len(queries))
+	idx := make([]int, len(queries))
+	seen := make(map[string]int, len(queries))
+	for i, raw := range queries {
+		if j, ok := seen[string(raw)]; ok {
+			idx[i] = j
+			continue
+		}
+		slots = append(slots, batchSlot{raw: raw})
+		seen[string(raw)] = len(slots) - 1
+		idx[i] = len(slots) - 1
+	}
+	return slots, idx
+}
+
+// runBatch fans the per-query work out across a bounded worker pool under
+// the single read-lock acquisition the caller amortizes over the batch.
+// Workers clone their slot's prepared query per use (clones are cheap and
+// the shared instance is never mutated), and the engine's pooled scratch
+// machinery hands each in-flight query its own working memory.
+func runBatch(n int, run func(i int)) {
+	workers := runtime.GOMAXPROCS(0)
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		for i := 0; i < n; i++ {
+			run(i)
+		}
+		return
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				run(i)
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+// SearchBatch answers every query of the batch under one read-lock
+// acquisition: each distinct query is prepared once (through the cache when
+// enabled), then the batch fans out across a bounded worker pool. Results
+// are in input order.
+func (c *Collection) SearchBatch(queries []json.RawMessage, threshold float64, limit int, withTokens bool) []BatchResult {
+	out := make([]BatchResult, len(queries))
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	slots, idx := dedupBatch(queries)
+	runBatch(len(queries), func(i int) {
+		pq, err := slots[idx[i]].prepared(c)
+		if err != nil {
+			out[i].Err = err
+			return
+		}
+		scored, total := pq.Clone().SearchScored(threshold, limit)
+		out[i].Hits = c.appendHits(make([]Hit, 0, len(scored)), scored, withTokens)
+		out[i].Total = total
+	})
+	return out
+}
+
+// TopKBatch is SearchBatch for top-k queries.
+func (c *Collection) TopKBatch(queries []json.RawMessage, k int, withTokens bool) []BatchResult {
+	out := make([]BatchResult, len(queries))
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	slots, idx := dedupBatch(queries)
+	runBatch(len(queries), func(i int) {
+		pq, err := slots[idx[i]].prepared(c)
+		if err != nil {
+			out[i].Err = err
+			return
+		}
+		scored := pq.Clone().TopK(k)
+		out[i].Hits = c.appendHits(make([]Hit, 0, len(scored)), scored, withTokens)
+	})
+	return out
 }
 
 // Insert adds a batch of records dynamically through the group-commit
@@ -773,6 +1039,10 @@ func (c *Collection) applyBatch(b *commitBatch) {
 	if c.journal != nil {
 		c.journaled += len(b.tokens)
 	}
+	// Bump the query generation before the new records become visible (the
+	// write lock is still held): searches load the generation under the read
+	// lock, so no cached pre-insert answer can ever be served post-insert.
+	c.queryGen.Add(1)
 	c.mu.Unlock()
 	c.requests.add(b.rid, b.ids[0], len(b.ids))
 }
@@ -850,6 +1120,9 @@ type CollStats struct {
 	Persistent       bool    `json:"persistent"`
 	Generation       uint64  `json:"generation"`
 	JournaledInserts int     `json:"journaled_inserts"`
+	// QueryCache reports the prepared-query cache counters; nil (omitted)
+	// when the cache is disabled.
+	QueryCache *QueryCacheStats `json:"query_cache,omitempty"`
 }
 
 // Stats returns the collection's current statistics.
@@ -857,6 +1130,11 @@ func (c *Collection) Stats() CollStats {
 	c.mu.RLock()
 	defer c.mu.RUnlock()
 	st := c.eng.EngineStats()
+	var qcs *QueryCacheStats
+	if c.qcache != nil {
+		s := c.qcache.stats()
+		qcs = &s
+	}
 	return CollStats{
 		Name:             c.name,
 		Engine:           st.Engine,
@@ -873,6 +1151,7 @@ func (c *Collection) Stats() CollStats {
 		Persistent:       c.dir != "",
 		Generation:       c.gen,
 		JournaledInserts: c.journaled,
+		QueryCache:       qcs,
 	}
 }
 

@@ -106,6 +106,16 @@ func (q *Query) Search(threshold float64) []int {
 	return q.inner.SearchSig(q.current(), threshold)
 }
 
+// SearchScored returns the hits Search would return with their containment
+// estimates attached, ascending by id, plus the total qualifying count.
+// limit > 0 caps the materialized hits. Each returned record is estimated
+// exactly once — the estimate that decided membership during the candidate
+// walk is the one reported — so "search, then score every hit" costs one
+// estimate per hit instead of two.
+func (q *Query) SearchScored(threshold float64, limit int) (hits []Scored, total int) {
+	return q.inner.SearchSigScored(q.current(), threshold, limit)
+}
+
 // TopK returns the k records with the highest estimated containment, best
 // first. Records with estimate 0 are never returned.
 func (q *Query) TopK(k int) []Scored {
