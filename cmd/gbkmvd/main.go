@@ -21,6 +21,10 @@
 //	  -d '{"records": [["five","guys","burgers"], ["five","kitchen"]], "options": {"budget_units": 1000}}'
 //	curl localhost:7878/collections/demo/search -d '{"query": ["five","guys"], "threshold": 0.5}'
 //
+// Observability: GET /metrics serves Prometheus text exposition, GET /readyz
+// reports readiness, -slow-query logs slow searches with their trace, and
+// -debug-addr serves net/http/pprof on a separate operator-only listener.
+//
 // See the Handler documentation in internal/server (and README.md) for the
 // full endpoint list.
 package main
@@ -31,6 +35,7 @@ import (
 	"flag"
 	"log"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"strings"
@@ -50,6 +55,8 @@ func main() {
 		queryCache  = flag.Int("query-cache", server.DefaultQueryCacheEntries, "prepared-query cache entries per collection; 0 disables caching")
 		grace       = flag.Duration("grace", 10*time.Second, "graceful shutdown timeout")
 		readTimeout = flag.Duration("read-timeout", 5*time.Minute, "HTTP read timeout (bulk builds can be large)")
+		slowQuery   = flag.Duration("slow-query", 0, "log search requests taking at least this long, with their trace (0 disables)")
+		debugAddr   = flag.String("debug-addr", "", "listen address for net/http/pprof profiling endpoints; empty disables them")
 	)
 	flag.Parse()
 
@@ -65,6 +72,25 @@ func main() {
 		if err := store.SetRecordFileRoot(*recordFiles); err != nil {
 			log.Fatalf("gbkmvd: -record-files: %v", err)
 		}
+	}
+	store.SetSlowQueryThreshold(*slowQuery)
+
+	// The profiling endpoints live on their own listener (and a dedicated
+	// mux, so they never leak onto the API port): pprof exposes heap contents
+	// and can stall a process, which belongs on an operator-only address.
+	if *debugAddr != "" {
+		dmux := http.NewServeMux()
+		dmux.HandleFunc("/debug/pprof/", pprof.Index)
+		dmux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		dmux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		dmux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		dmux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+		go func() {
+			log.Printf("gbkmvd: pprof listening on %s", *debugAddr)
+			if err := http.ListenAndServe(*debugAddr, dmux); err != nil {
+				log.Printf("gbkmvd: pprof server: %v", err)
+			}
+		}()
 	}
 
 	srv := &http.Server{

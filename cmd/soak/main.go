@@ -1,0 +1,279 @@
+// Command soak drives a mixed insert + search + batch-search workload
+// against a running gbkmvd, using the JSONL insert stream emitted by
+//
+//	datagen -zipf-clients N -inserts M -universe U > inserts.jsonl
+//
+// It seeds a collection from the head of the stream, then fans the remainder
+// out across concurrent clients as inserts interleaved with searches (single
+// and batch) whose queries are drawn from already-inserted records — so
+// query-cache hits, cold misses and WAL group commits all occur under
+// realistic contention. At the end it prints client-side p50/p95/p99 latency
+// per operation and the server's own view of the run scraped from /metrics.
+//
+// Usage:
+//
+//	soak -addr http://localhost:7878 -file inserts.jsonl -duration 30s -clients 8
+package main
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"log"
+	"math/rand"
+	"net/http"
+	"os"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"gbkmv/internal/obs"
+)
+
+type insertLine struct {
+	Client int      `json:"client"`
+	Tokens []string `json:"tokens"`
+}
+
+// opKinds of the workload mix.
+const (
+	opInsert = iota
+	opSearch
+	opBatch
+	numOps
+)
+
+var opNames = [numOps]string{"insert", "search", "search:batch"}
+
+func main() {
+	var (
+		addr       = flag.String("addr", "http://localhost:7878", "gbkmvd base URL")
+		file       = flag.String("file", "", "datagen -zipf-clients JSONL insert stream (required)")
+		coll       = flag.String("collection", "soak", "collection name to build and drive")
+		duration   = flag.Duration("duration", 30*time.Second, "how long to run the mixed workload")
+		clients    = flag.Int("clients", 8, "concurrent client goroutines")
+		seedN      = flag.Int("seed-records", 1000, "records built into the collection before the run")
+		insertFrac = flag.Float64("insert-frac", 0.2, "fraction of operations that are inserts")
+		batchFrac  = flag.Float64("batch-frac", 0.1, "fraction of operations that are batch searches")
+		batchSize  = flag.Int("batch", 16, "queries per batch search")
+		threshold  = flag.Float64("threshold", 0.5, "containment threshold for searches")
+		seed       = flag.Int64("seed", 1, "workload RNG seed")
+	)
+	flag.Parse()
+	if *file == "" {
+		flag.Usage()
+		os.Exit(2)
+	}
+	records, err := loadRecords(*file)
+	if err != nil {
+		log.Fatalf("soak: %v", err)
+	}
+	if len(records) <= *seedN {
+		log.Fatalf("soak: %d records in %s, need more than -seed-records (%d)", len(records), *file, *seedN)
+	}
+
+	client := &http.Client{Timeout: 60 * time.Second}
+	base := strings.TrimRight(*addr, "/") + "/collections/" + *coll
+	if err := buildCollection(client, base, records[:*seedN]); err != nil {
+		log.Fatalf("soak: building %s: %v", *coll, err)
+	}
+	log.Printf("soak: built %s with %d seed records; running %d clients for %s",
+		*coll, *seedN, *clients, *duration)
+
+	// inserted is the high-water mark of records visible to searches; next
+	// hands out insert records. Both start past the seed set.
+	var inserted, next atomic.Int64
+	inserted.Store(int64(*seedN))
+	next.Store(int64(*seedN))
+
+	var hists [numOps]*obs.Histogram
+	for i := range hists {
+		hists[i] = obs.NewHistogram(obs.LatencyBuckets)
+	}
+	var errs atomic.Int64
+
+	deadline := time.Now().Add(*duration)
+	var wg sync.WaitGroup
+	for w := 0; w < *clients; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(*seed + int64(w)))
+			for time.Now().Before(deadline) {
+				op := opSearch
+				switch p := rng.Float64(); {
+				case p < *insertFrac:
+					op = opInsert
+				case p < *insertFrac+*batchFrac:
+					op = opBatch
+				}
+				start := time.Now()
+				var err error
+				switch op {
+				case opInsert:
+					i := next.Add(1) - 1
+					if int(i) >= len(records) {
+						op = opSearch // stream exhausted: degrade to searches
+						err = doSearch(client, base, records, &inserted, rng, *threshold)
+						break
+					}
+					err = doInsert(client, base, records[i])
+					if err == nil {
+						// Visible only after acknowledgement; monotonic is
+						// enough for query sampling.
+						inserted.Store(i + 1)
+					}
+				case opSearch:
+					err = doSearch(client, base, records, &inserted, rng, *threshold)
+				case opBatch:
+					err = doBatch(client, base, records, &inserted, rng, *threshold, *batchSize)
+				}
+				hists[op].Observe(time.Since(start).Seconds())
+				if err != nil {
+					errs.Add(1)
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+
+	fmt.Printf("\n%-13s %10s %10s %10s %10s\n", "op", "count", "p50", "p95", "p99")
+	for i, h := range hists {
+		s := h.Snapshot()
+		if s.Count == 0 {
+			continue
+		}
+		fmt.Printf("%-13s %10d %10s %10s %10s\n", opNames[i], s.Count,
+			fmtSecs(s.Quantile(0.5)), fmtSecs(s.Quantile(0.95)), fmtSecs(s.Quantile(0.99)))
+	}
+	if n := errs.Load(); n > 0 {
+		fmt.Printf("errors: %d\n", n)
+	}
+	printServerMetrics(client, strings.TrimRight(*addr, "/")+"/metrics", *coll)
+}
+
+func loadRecords(path string) ([][]string, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	var out [][]string
+	sc := bufio.NewScanner(f)
+	sc.Buffer(make([]byte, 1<<20), 16<<20)
+	for sc.Scan() {
+		var line insertLine
+		if err := json.Unmarshal(sc.Bytes(), &line); err != nil {
+			return nil, fmt.Errorf("%s line %d: %v", path, len(out)+1, err)
+		}
+		out = append(out, line.Tokens)
+	}
+	return out, sc.Err()
+}
+
+func post(client *http.Client, method, url string, body any) error {
+	b, err := json.Marshal(body)
+	if err != nil {
+		return err
+	}
+	req, err := http.NewRequest(method, url, bytes.NewReader(b))
+	if err != nil {
+		return err
+	}
+	resp, err := client.Do(req)
+	if err != nil {
+		return err
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode >= 400 {
+		return fmt.Errorf("%s %s: %s", method, url, resp.Status)
+	}
+	return nil
+}
+
+func buildCollection(client *http.Client, base string, records [][]string) error {
+	return post(client, http.MethodPut, base, map[string]any{"records": records})
+}
+
+func doInsert(client *http.Client, base string, tokens []string) error {
+	return post(client, http.MethodPost, base+"/records", map[string]any{"records": [][]string{tokens}})
+}
+
+// sampleQuery draws a prefix of an already-visible record, so some queries
+// repeat (cache hits) and some contain fresh inserts (cache misses).
+func sampleQuery(records [][]string, inserted *atomic.Int64, rng *rand.Rand) []string {
+	hi := int(inserted.Load())
+	tokens := records[rng.Intn(hi)]
+	n := 1 + rng.Intn(len(tokens))
+	return tokens[:n]
+}
+
+func doSearch(client *http.Client, base string, records [][]string, inserted *atomic.Int64, rng *rand.Rand, threshold float64) error {
+	return post(client, http.MethodPost, base+"/search", map[string]any{
+		"query": sampleQuery(records, inserted, rng), "threshold": threshold, "limit": 10})
+}
+
+func doBatch(client *http.Client, base string, records [][]string, inserted *atomic.Int64, rng *rand.Rand, threshold float64, size int) error {
+	queries := make([][]string, size)
+	for i := range queries {
+		queries[i] = sampleQuery(records, inserted, rng)
+	}
+	return post(client, http.MethodPost, base+"/search:batch", map[string]any{
+		"queries": queries, "threshold": threshold, "limit": 10})
+}
+
+// printServerMetrics scrapes /metrics and prints the series relevant to the
+// run — the server-side counterpart of the client-side latency table.
+func printServerMetrics(client *http.Client, url, coll string) {
+	resp, err := client.Get(url)
+	if err != nil {
+		log.Printf("soak: scraping %s: %v", url, err)
+		return
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		log.Printf("soak: reading %s: %v", url, err)
+		return
+	}
+	wanted := []string{
+		"gbkmv_http_requests_total",
+		"gbkmv_query_cache_hits_total", "gbkmv_query_cache_misses_total",
+		"gbkmv_query_cache_evictions_total", "gbkmv_query_cache_entries",
+		"gbkmv_wal_appended_frames_total", "gbkmv_wal_appended_bytes_total",
+		"gbkmv_wal_fsync_seconds_count", "gbkmv_wal_fsync_seconds_sum",
+		"gbkmv_wal_commit_group_size_count", "gbkmv_wal_commit_group_size_sum",
+		"gbkmv_search_candidates_total", "gbkmv_search_pruned_total",
+		"gbkmv_search_estimated_total", "gbkmv_search_buffer_accepts_total",
+		"gbkmv_collection_records",
+	}
+	var lines []string
+	for _, line := range strings.Split(string(body), "\n") {
+		if strings.HasPrefix(line, "#") || !strings.Contains(line, coll) {
+			continue
+		}
+		name, _, _ := strings.Cut(line, "{")
+		for _, w := range wanted {
+			if name == w {
+				lines = append(lines, line)
+				break
+			}
+		}
+	}
+	sort.Strings(lines)
+	fmt.Printf("\nserver view (%s):\n", url)
+	for _, l := range lines {
+		fmt.Println("  " + l)
+	}
+}
+
+// fmtSecs renders a latency quantile compactly.
+func fmtSecs(s float64) string {
+	return time.Duration(s * float64(time.Second)).Round(time.Microsecond).String()
+}

@@ -188,6 +188,15 @@ type Stats struct {
 	SketchBytes int     // footprint of the G-KMV hash store alone
 }
 
+// BuildCounters returns monotonic write-path work counters: total element
+// occurrences hashed by the hash-once pipeline (build, load, insert — each
+// occurrence exactly once) and fixed-budget threshold shrinks performed.
+// Safe to call concurrently with reads and writes; serving layers mirror
+// these into their metrics registry at scrape time.
+func (ix *Index) BuildCounters() (elementsHashed, shrinks uint64) {
+	return ix.inner.BuildCounters()
+}
+
 // Stats reports the index's configuration and footprint.
 func (ix *Index) Stats() Stats {
 	return Stats{

@@ -131,6 +131,11 @@ func (ix *Index) hashChunks(fillBuffers bool) []buildChunk {
 			c.recEnd = append(c.recEnd, int32(len(c.elems)))
 		}
 	})
+	var hashed uint64
+	for i := range chunks {
+		hashed += uint64(len(chunks[i].hashes))
+	}
+	ix.elementsHashed.Add(hashed)
 	return chunks
 }
 

@@ -6,6 +6,7 @@ import (
 	"math"
 	"sort"
 	"sync"
+	"sync/atomic"
 
 	"gbkmv/internal/bitmap"
 	"gbkmv/internal/dataset"
@@ -52,6 +53,20 @@ type Index struct {
 	// scratchPool recycles searchScratch working memory across queries; see
 	// scratch.go for the ownership contract.
 	scratchPool sync.Pool
+
+	// Write-path work counters, atomic so scrape-time readers never contend
+	// with the write lock: every element occurrence hashed by the hash-once
+	// pipeline (build, load, insert), and every threshold shrink performed.
+	elementsHashed atomic.Uint64
+	shrinks        atomic.Uint64
+}
+
+// BuildCounters returns the monotonic write-path work counters: total element
+// occurrences hashed (the hash-once pipeline hashes each exactly once, so
+// this is also the occurrence count ingested) and fixed-budget threshold
+// shrinks performed. Safe to call concurrently with reads and writes.
+func (ix *Index) BuildCounters() (elementsHashed, shrinks uint64) {
+	return ix.elementsHashed.Load(), ix.shrinks.Load()
 }
 
 // BuildIndex constructs the GB-KMV index of the dataset (Algorithm 1)
@@ -196,6 +211,22 @@ type QuerySig struct {
 	// rest holds the query's non-buffered elements with hash ≤ τ, used by
 	// the inverted-index search.
 	rest []hash.Element
+	// Stats is overwritten by each search run with the work that search did.
+	// It shares the signature's ownership contract: a QuerySig is used by one
+	// goroutine at a time, so the stats of the last completed search are
+	// always readable by that goroutine without synchronization.
+	Stats QueryStats
+}
+
+// QueryStats counts the work one search performed, filled into
+// QuerySig.Stats by the search entry points. It is the observable behind the
+// paper's accuracy/space/latency trade-off: candidate volume and prune
+// effectiveness are what the buffer size and budget knobs actually move.
+type QueryStats struct {
+	Candidates    int // records touched by candidate generation
+	PrunedByBound int // candidates dismissed by the K∩ upper-bound prune, no merge paid
+	Estimated     int // full G-KMV merge estimates performed
+	BufferAccepts int // hits settled by the exact buffer part alone
 }
 
 // Clone returns a copy of the signature that can be mutated (Size override,

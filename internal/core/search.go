@@ -32,6 +32,7 @@ func (ix *Index) SearchSig(sig *QuerySig, tstar float64) []int {
 // searchSigWith runs the search over caller-provided scratch, the inner loop
 // shared by SearchSig, Search and the per-worker batch paths.
 func (ix *Index) searchSigWith(sig *QuerySig, tstar float64, sc *searchScratch) []int {
+	sig.Stats = QueryStats{}
 	theta := tstar * float64(sig.Size)
 	if theta <= 0 {
 		// Every record trivially satisfies the threshold.
@@ -42,6 +43,7 @@ func (ix *Index) searchSigWith(sig *QuerySig, tstar float64, sc *searchScratch) 
 		return out
 	}
 	ix.gatherSearchCandidates(sig, theta, sc)
+	sig.Stats.Candidates = len(sc.touched)
 	// The paper's K∩ ≥ o prune (Section IV-B, "Implementation"): the
 	// G-KMV estimate is D̂∩ = K∩·(k−1)/(k·U(k)) ≤ K∩/U(k), and U(k) — the
 	// largest hash in L_Q ∪ L_X — is at least the largest hash of L_Q
@@ -57,11 +59,14 @@ func (ix *Index) searchSigWith(sig *QuerySig, tstar float64, sc *searchScratch) 
 		if need <= 0 {
 			// The exact buffer part alone meets the threshold.
 			out = append(out, int(id))
+			sig.Stats.BufferAccepts++
 			continue
 		}
 		if float64(sc.counts[id]) < need*qMax {
+			sig.Stats.PrunedByBound++
 			continue
 		}
+		sig.Stats.Estimated++
 		if ix.EstimateIntersection(sig, int(id)) >= theta {
 			out = append(out, int(id))
 		}
@@ -183,6 +188,7 @@ func (ix *Index) AddRecords(recs []dataset.Record) {
 		sort.Float64s(run)
 		ix.arena.appendRun(run, len(run) == len(elems))
 		newElems[ri], newHashes[ri] = elems, hashes
+		ix.elementsHashed.Add(uint64(len(hashes)))
 	}
 	if over := ix.UsedUnits() - ix.budget; over > 0 {
 		// The shrink lowers τ and filters existing state; the new records'
@@ -243,5 +249,6 @@ func (ix *Index) shrinkThreshold(over int) bool {
 	ix.tau = cut
 	ix.arena.trimToTau(cut)
 	ix.filterPostings(cut)
+	ix.shrinks.Add(1)
 	return true
 }

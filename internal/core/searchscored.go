@@ -25,6 +25,7 @@ func (ix *Index) SearchSigScored(sig *QuerySig, tstar float64, limit int) ([]Sco
 // It is result-equivalent to searchSigWith followed by EstimateContainment
 // on each returned id (the differential tests pin this).
 func (ix *Index) searchSigScoredWith(sig *QuerySig, tstar float64, limit int, sc *searchScratch) ([]Scored, int) {
+	sig.Stats = QueryStats{}
 	size := float64(sig.Size)
 	theta := tstar * size
 	if theta <= 0 {
@@ -39,9 +40,11 @@ func (ix *Index) searchSigScoredWith(sig *QuerySig, tstar float64, limit int, sc
 		for i := 0; i < n; i++ {
 			out[i] = Scored{ID: i, Score: ix.EstimateContainment(sig, i)}
 		}
+		sig.Stats.Estimated = n
 		return out, total
 	}
 	ix.gatherSearchCandidates(sig, theta, sc)
+	sig.Stats.Candidates = len(sc.touched)
 	// Same K∩ ≥ need·max(L_Q) prune as searchSigWith; pruned candidates are
 	// provably below θ, so they need no estimate at all.
 	qMax := 0.0
@@ -58,11 +61,14 @@ func (ix *Index) searchSigScoredWith(sig *QuerySig, tstar float64, limit int, sc
 			// the sentinel; real scores are clamped to [0, 1]).
 			out = append(out, Scored{ID: int(id), Score: -1})
 			deferred = true
+			sig.Stats.BufferAccepts++
 			continue
 		}
 		if float64(sc.counts[id]) < need*qMax {
+			sig.Stats.PrunedByBound++
 			continue
 		}
+		sig.Stats.Estimated++
 		if inter := ix.EstimateIntersection(sig, int(id)); inter >= theta {
 			est := inter / size
 			if est > 1 {
@@ -80,6 +86,7 @@ func (ix *Index) searchSigScoredWith(sig *QuerySig, tstar float64, limit int, sc
 		for i := range out {
 			if out[i].Score < 0 {
 				out[i].Score = ix.EstimateContainment(sig, out[i].ID)
+				sig.Stats.Estimated++
 			}
 		}
 	}

@@ -45,6 +45,7 @@ func (ix *Index) topkSigWith(sig *QuerySig, k int, sc *searchScratch) []Scored {
 	if k <= 0 || sig.Size == 0 {
 		return nil
 	}
+	sig.Stats = QueryStats{}
 	// Candidate generation as in searchSigWith with θ → 0⁺: any record
 	// sharing a sketch element or a buffered element can score above zero.
 	// K∩ per candidate is accumulated for the prune below.
@@ -81,6 +82,7 @@ func (ix *Index) topkSigWith(sig *QuerySig, k int, sc *searchScratch) []Scored {
 		qMax = hs[len(hs)-1]
 	}
 	size := float64(sig.Size)
+	sig.Stats.Candidates = len(sc.touched)
 	h := topkheap.Make(k, sc.heap)
 	for _, id := range sc.touched {
 		exact := ix.bufferOverlap(sig, int(id))
@@ -93,8 +95,10 @@ func (ix *Index) topkSigWith(sig *QuerySig, k int, sc *searchScratch) []Scored {
 			ub = 1
 		}
 		if h.Full() && ub < h.WorstScore() {
+			sig.Stats.PrunedByBound++
 			continue
 		}
+		sig.Stats.Estimated++
 		est := (float64(exact) + gkmv.IntersectViews(sig.sketch, ix.arena.view(int(id))).DInter) / size
 		if est > 1 {
 			est = 1

@@ -1,0 +1,376 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"net/http"
+	"regexp"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+)
+
+// Registry holds named metric families and renders them in the Prometheus
+// text exposition format (version 0.0.4). Families are registered once at
+// wiring time (duplicate or invalid names panic — a mis-wired metric is a
+// programming error, not a runtime condition); labeled children are created
+// on demand through the Vec types and cached by the caller on hot paths.
+//
+// Scrape hooks (OnScrape) run before each exposition, letting subsystems
+// mirror scrape-time state — runtime stats, per-collection gauges — into
+// ordinary registered metrics instead of the registry knowing about them.
+type Registry struct {
+	mu     sync.RWMutex
+	fams   []*family
+	byName map[string]*family
+	hooks  []func()
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{byName: make(map[string]*family)}
+}
+
+// Metric and label names follow the Prometheus data model.
+var (
+	metricNameRE = regexp.MustCompile(`^[a-zA-Z_:][a-zA-Z0-9_:]*$`)
+	labelNameRE  = regexp.MustCompile(`^[a-zA-Z_][a-zA-Z0-9_]*$`)
+)
+
+const (
+	typeCounter   = "counter"
+	typeGauge     = "gauge"
+	typeHistogram = "histogram"
+)
+
+// family is one named metric with its labeled children.
+type family struct {
+	name   string
+	help   string
+	typ    string
+	labels []string
+	bounds []float64 // histograms only
+
+	mu       sync.RWMutex
+	children map[string]*child
+}
+
+// child is one label-value combination of a family.
+type child struct {
+	values []string
+	c      *Counter
+	g      *Gauge
+	f      func() float64 // value function (CounterFunc/GaugeFunc)
+	h      *Histogram
+}
+
+func (r *Registry) newFamily(name, help, typ string, bounds []float64, labels []string) *family {
+	if !metricNameRE.MatchString(name) {
+		panic(fmt.Sprintf("obs: invalid metric name %q", name))
+	}
+	for _, l := range labels {
+		if !labelNameRE.MatchString(l) {
+			panic(fmt.Sprintf("obs: metric %s: invalid label name %q", name, l))
+		}
+	}
+	if typ == typeHistogram && !validBounds(bounds) {
+		panic(fmt.Sprintf("obs: metric %s: bucket bounds must be finite and strictly ascending", name))
+	}
+	f := &family{name: name, help: help, typ: typ, bounds: bounds, labels: labels,
+		children: make(map[string]*child)}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if _, dup := r.byName[name]; dup {
+		panic(fmt.Sprintf("obs: metric %q registered twice", name))
+	}
+	r.byName[name] = f
+	r.fams = append(r.fams, f)
+	return f
+}
+
+// childKey joins label values with an unprintable separator; label values
+// may contain anything, but 0xff cannot start a UTF-8 rune, so two distinct
+// value tuples can only collide if a value itself contains the separator —
+// accepted as out of scope for operator-controlled label values.
+func childKey(values []string) string {
+	return strings.Join(values, "\xff")
+}
+
+// with returns (creating if needed) the child for the given label values.
+func (f *family) with(values []string, make func() *child) *child {
+	if len(values) != len(f.labels) {
+		panic(fmt.Sprintf("obs: metric %s: got %d label values for %d labels", f.name, len(values), len(f.labels)))
+	}
+	key := childKey(values)
+	f.mu.RLock()
+	ch := f.children[key]
+	f.mu.RUnlock()
+	if ch != nil {
+		return ch
+	}
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if ch := f.children[key]; ch != nil {
+		return ch
+	}
+	ch = make()
+	ch.values = append([]string(nil), values...)
+	f.children[key] = ch
+	return ch
+}
+
+// remove drops the child for the given label values, ending its series.
+func (f *family) remove(values []string) {
+	f.mu.Lock()
+	delete(f.children, childKey(values))
+	f.mu.Unlock()
+}
+
+// Counter registers an unlabeled counter.
+func (r *Registry) Counter(name, help string) *Counter {
+	return r.CounterVec(name, help).With()
+}
+
+// CounterVec registers a counter family with the given label names.
+func (r *Registry) CounterVec(name, help string, labels ...string) *CounterVec {
+	return &CounterVec{r.newFamily(name, help, typeCounter, nil, labels)}
+}
+
+// CounterFunc registers a counter whose value is read from f at scrape time
+// — for mirroring a monotonic total owned elsewhere.
+func (r *Registry) CounterFunc(name, help string, f func() float64) {
+	fam := r.newFamily(name, help, typeCounter, nil, nil)
+	fam.with(nil, func() *child { return &child{f: f} })
+}
+
+// Gauge registers an unlabeled gauge.
+func (r *Registry) Gauge(name, help string) *Gauge {
+	return r.GaugeVec(name, help).With()
+}
+
+// GaugeVec registers a gauge family with the given label names.
+func (r *Registry) GaugeVec(name, help string, labels ...string) *GaugeVec {
+	return &GaugeVec{r.newFamily(name, help, typeGauge, nil, labels)}
+}
+
+// GaugeFunc registers a gauge whose value is read from f at scrape time.
+func (r *Registry) GaugeFunc(name, help string, f func() float64) {
+	fam := r.newFamily(name, help, typeGauge, nil, nil)
+	fam.with(nil, func() *child { return &child{f: f} })
+}
+
+// Histogram registers an unlabeled histogram over the given bucket bounds
+// (use LatencyBuckets for durations, CountBuckets for sizes).
+func (r *Registry) Histogram(name, help string, bounds []float64) *Histogram {
+	return r.HistogramVec(name, help, bounds).With()
+}
+
+// HistogramVec registers a histogram family with the given label names.
+func (r *Registry) HistogramVec(name, help string, bounds []float64, labels ...string) *HistogramVec {
+	return &HistogramVec{r.newFamily(name, help, typeHistogram, bounds, labels)}
+}
+
+// CounterVec is a labeled counter family.
+type CounterVec struct{ f *family }
+
+// With returns the counter for the label values, creating it on first use.
+// Hot paths call With once and keep the pointer.
+func (v *CounterVec) With(values ...string) *Counter {
+	return v.f.with(values, func() *child { return &child{c: &Counter{}} }).c
+}
+
+// Remove ends the series for the label values (e.g. a deleted collection).
+func (v *CounterVec) Remove(values ...string) { v.f.remove(values) }
+
+// GaugeVec is a labeled gauge family.
+type GaugeVec struct{ f *family }
+
+// With returns the gauge for the label values, creating it on first use.
+func (v *GaugeVec) With(values ...string) *Gauge {
+	return v.f.with(values, func() *child { return &child{g: &Gauge{}} }).g
+}
+
+// Remove ends the series for the label values.
+func (v *GaugeVec) Remove(values ...string) { v.f.remove(values) }
+
+// HistogramVec is a labeled histogram family.
+type HistogramVec struct{ f *family }
+
+// With returns the histogram for the label values, creating it on first use.
+func (v *HistogramVec) With(values ...string) *Histogram {
+	return v.f.with(values, func() *child { return &child{h: newHistogram(v.f.bounds)} }).h
+}
+
+// Remove ends the series for the label values.
+func (v *HistogramVec) Remove(values ...string) { v.f.remove(values) }
+
+// OnScrape registers a hook run before every exposition (and before
+// WritePrometheus returns any bytes). Hooks mirror scrape-time state into
+// registered metrics; they must not register new families.
+func (r *Registry) OnScrape(f func()) {
+	r.mu.Lock()
+	r.hooks = append(r.hooks, f)
+	r.mu.Unlock()
+}
+
+// WritePrometheus renders every family in the text exposition format,
+// families sorted by name, children sorted by label values, so output is
+// diff-stable between scrapes.
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	r.mu.RLock()
+	hooks := append([]func(){}, r.hooks...)
+	fams := append([]*family{}, r.fams...)
+	r.mu.RUnlock()
+	for _, h := range hooks {
+		h()
+	}
+	sort.Slice(fams, func(i, j int) bool { return fams[i].name < fams[j].name })
+	var b []byte
+	for _, f := range fams {
+		b = f.appendProm(b[:0])
+		if _, err := w.Write(b); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// appendProm renders one family.
+func (f *family) appendProm(b []byte) []byte {
+	f.mu.RLock()
+	children := make([]*child, 0, len(f.children))
+	for _, ch := range f.children {
+		children = append(children, ch)
+	}
+	f.mu.RUnlock()
+	if len(children) == 0 {
+		return b
+	}
+	sort.Slice(children, func(i, j int) bool {
+		return childKey(children[i].values) < childKey(children[j].values)
+	})
+	if f.help != "" {
+		b = append(b, "# HELP "...)
+		b = append(b, f.name...)
+		b = append(b, ' ')
+		b = appendEscapedHelp(b, f.help)
+		b = append(b, '\n')
+	}
+	b = append(b, "# TYPE "...)
+	b = append(b, f.name...)
+	b = append(b, ' ')
+	b = append(b, f.typ...)
+	b = append(b, '\n')
+	for _, ch := range children {
+		switch {
+		case ch.h != nil:
+			b = f.appendHistogram(b, ch)
+		case ch.c != nil:
+			b = f.appendSeries(b, f.name, ch.values, "", "", float64(ch.c.Value()))
+		case ch.g != nil:
+			b = f.appendSeries(b, f.name, ch.values, "", "", ch.g.Value())
+		case ch.f != nil:
+			b = f.appendSeries(b, f.name, ch.values, "", "", ch.f())
+		}
+	}
+	return b
+}
+
+// appendHistogram renders one histogram child: cumulative _bucket series,
+// then _sum and _count. The +Inf bucket equals _count by construction (see
+// Histogram.Snapshot).
+func (f *family) appendHistogram(b []byte, ch *child) []byte {
+	s := ch.h.Snapshot()
+	var cum uint64
+	for i, bound := range s.Bounds {
+		cum += s.Counts[i]
+		le := strconv.FormatFloat(bound, 'g', -1, 64)
+		b = f.appendSeries(b, f.name+"_bucket", ch.values, "le", le, float64(cum))
+	}
+	b = f.appendSeries(b, f.name+"_bucket", ch.values, "le", "+Inf", float64(s.Count))
+	b = f.appendSeries(b, f.name+"_sum", ch.values, "", "", s.Sum)
+	b = f.appendSeries(b, f.name+"_count", ch.values, "", "", float64(s.Count))
+	return b
+}
+
+// appendSeries renders one sample line, with an optional extra label (le).
+func (f *family) appendSeries(b []byte, name string, values []string, extraLabel, extraValue string, v float64) []byte {
+	b = append(b, name...)
+	if len(values) > 0 || extraLabel != "" {
+		b = append(b, '{')
+		for i, l := range f.labels {
+			if i > 0 {
+				b = append(b, ',')
+			}
+			b = append(b, l...)
+			b = append(b, '=', '"')
+			b = appendEscapedLabel(b, values[i])
+			b = append(b, '"')
+		}
+		if extraLabel != "" {
+			if len(f.labels) > 0 {
+				b = append(b, ',')
+			}
+			b = append(b, extraLabel...)
+			b = append(b, '=', '"')
+			b = appendEscapedLabel(b, extraValue)
+			b = append(b, '"')
+		}
+		b = append(b, '}')
+	}
+	b = append(b, ' ')
+	b = appendPromFloat(b, v)
+	return append(b, '\n')
+}
+
+// appendPromFloat renders a sample value: integral values without an
+// exponent (counters read naturally), everything else shortest-round-trip.
+func appendPromFloat(b []byte, v float64) []byte {
+	if v == float64(int64(v)) {
+		return strconv.AppendInt(b, int64(v), 10)
+	}
+	return strconv.AppendFloat(b, v, 'g', -1, 64)
+}
+
+// appendEscapedLabel escapes a label value per the exposition format.
+func appendEscapedLabel(b []byte, s string) []byte {
+	for i := 0; i < len(s); i++ {
+		switch c := s[i]; c {
+		case '\\':
+			b = append(b, '\\', '\\')
+		case '"':
+			b = append(b, '\\', '"')
+		case '\n':
+			b = append(b, '\\', 'n')
+		default:
+			b = append(b, c)
+		}
+	}
+	return b
+}
+
+// appendEscapedHelp escapes HELP text per the exposition format.
+func appendEscapedHelp(b []byte, s string) []byte {
+	for i := 0; i < len(s); i++ {
+		switch c := s[i]; c {
+		case '\\':
+			b = append(b, '\\', '\\')
+		case '\n':
+			b = append(b, '\\', 'n')
+		default:
+			b = append(b, c)
+		}
+	}
+	return b
+}
+
+// Handler returns the GET /metrics handler serving the exposition.
+func (r *Registry) Handler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		// Errors past the first byte are the client hanging up; nothing
+		// useful to do.
+		_ = r.WritePrometheus(w)
+	})
+}

@@ -1,0 +1,68 @@
+package obs
+
+import (
+	"runtime"
+	"sync"
+	"time"
+)
+
+// RegisterRuntimeMetrics registers process-level metrics — heap, GC,
+// goroutines, uptime — on r. Values are read in an OnScrape hook, so the
+// (stop-the-world-free but not free) runtime.ReadMemStats call happens once
+// per scrape, not per metric.
+func RegisterRuntimeMetrics(r *Registry) {
+	start := time.Now()
+	var (
+		mu sync.Mutex
+		ms runtime.MemStats
+	)
+	r.OnScrape(func() {
+		mu.Lock()
+		defer mu.Unlock()
+		runtime.ReadMemStats(&ms)
+	})
+	read := func(f func() float64) func() float64 {
+		return func() float64 {
+			mu.Lock()
+			defer mu.Unlock()
+			return f()
+		}
+	}
+
+	r.GaugeFunc("go_goroutines",
+		"Number of goroutines that currently exist.",
+		func() float64 { return float64(runtime.NumGoroutine()) })
+	r.GaugeFunc("go_gomaxprocs",
+		"Value of GOMAXPROCS.",
+		func() float64 { return float64(runtime.GOMAXPROCS(0)) })
+	r.GaugeFunc("go_memstats_heap_alloc_bytes",
+		"Bytes of allocated heap objects.",
+		read(func() float64 { return float64(ms.HeapAlloc) }))
+	r.GaugeFunc("go_memstats_heap_sys_bytes",
+		"Bytes of heap memory obtained from the OS.",
+		read(func() float64 { return float64(ms.HeapSys) }))
+	r.GaugeFunc("go_memstats_heap_inuse_bytes",
+		"Bytes in in-use heap spans.",
+		read(func() float64 { return float64(ms.HeapInuse) }))
+	r.GaugeFunc("go_memstats_heap_objects",
+		"Number of currently allocated heap objects.",
+		read(func() float64 { return float64(ms.HeapObjects) }))
+	r.GaugeFunc("go_memstats_next_gc_bytes",
+		"Heap size at which the next GC cycle starts.",
+		read(func() float64 { return float64(ms.NextGC) }))
+	r.CounterFunc("go_memstats_alloc_bytes_total",
+		"Cumulative bytes allocated for heap objects.",
+		read(func() float64 { return float64(ms.TotalAlloc) }))
+	r.CounterFunc("go_memstats_mallocs_total",
+		"Cumulative count of heap objects allocated.",
+		read(func() float64 { return float64(ms.Mallocs) }))
+	r.CounterFunc("go_gc_cycles_total",
+		"Number of completed GC cycles.",
+		read(func() float64 { return float64(ms.NumGC) }))
+	r.CounterFunc("go_gc_pause_seconds_total",
+		"Cumulative stop-the-world GC pause time.",
+		read(func() float64 { return float64(ms.PauseTotalNs) / 1e9 }))
+	r.GaugeFunc("process_uptime_seconds",
+		"Seconds since the metrics registry was initialized.",
+		func() float64 { return time.Since(start).Seconds() })
+}

@@ -16,6 +16,8 @@ const maxBodyBytes = 256 << 20
 // Handler serves the gbkmvd HTTP JSON API over a Store:
 //
 //	GET    /healthz                      liveness + collection count
+//	GET    /readyz                       readiness (503 until startup loading finished)
+//	GET    /metrics                      Prometheus text exposition
 //	GET    /collections                  list collection names
 //	PUT    /collections/{name}           build (or replace) from records or a server-side file
 //	DELETE /collections/{name}           drop the collection and its on-disk state
@@ -26,10 +28,16 @@ const maxBodyBytes = 256 << 20
 //	POST   /collections/{name}/search:batch  many searches in one request
 //	POST   /collections/{name}/topk:batch    many top-k queries in one request
 //	POST   /collections/{name}/snapshot  persist now, truncating the journal
+//
+// Every response carries an X-Request-Id (echoed from the request when the
+// client sent one); the whole mux is wrapped in the observability middleware
+// (per-endpoint metrics, slow-query log — see middleware.go).
 func Handler(s *Store) http.Handler {
 	h := &api{store: s}
 	mux := http.NewServeMux()
 	mux.HandleFunc("GET /healthz", h.health)
+	mux.HandleFunc("GET /readyz", h.ready)
+	mux.Handle("GET /metrics", s.metrics.reg.Handler())
 	mux.HandleFunc("GET /collections", h.list)
 	mux.HandleFunc("PUT /collections/{name}", h.build)
 	mux.HandleFunc("DELETE /collections/{name}", h.delete)
@@ -40,7 +48,7 @@ func Handler(s *Store) http.Handler {
 	mux.HandleFunc("POST /collections/{name}/search:batch", h.searchBatch)
 	mux.HandleFunc("POST /collections/{name}/topk:batch", h.topkBatch)
 	mux.HandleFunc("POST /collections/{name}/snapshot", h.snapshot)
-	return mux
+	return withObservability(s, mux)
 }
 
 type api struct {
@@ -81,6 +89,19 @@ func (h *api) collection(w http.ResponseWriter, r *http.Request) (*Collection, b
 func (h *api) health(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, map[string]any{
 		"status":      "ok",
+		"collections": len(h.store.Names()),
+	})
+}
+
+// ready distinguishes "process up" (healthz) from "able to serve" — a load
+// balancer should not route to an instance still replaying journals.
+func (h *api) ready(w http.ResponseWriter, r *http.Request) {
+	if !h.store.ready.Load() {
+		writeJSON(w, http.StatusServiceUnavailable, map[string]any{"status": "loading"})
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]any{
+		"status":      "ready",
 		"collections": len(h.store.Names()),
 	})
 }
@@ -287,9 +308,14 @@ func (h *api) search(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, "threshold must be in [0, 1]")
 		return
 	}
+	tr := traceOf(w)
+	if tr != nil {
+		tr.isQuery = true
+		tr.engine = c.engName
+	}
 	sc := getResp()
 	defer putResp(sc)
-	hits, total, err := c.SearchRaw(req.Query, req.Threshold, req.Limit, req.WithTokens, sc.hits[:0])
+	hits, total, err := c.SearchRaw(req.Query, req.Threshold, req.Limit, req.WithTokens, sc.hits[:0], tr)
 	if err != nil {
 		writeError(w, http.StatusBadRequest, "search: %v", err)
 		return
@@ -318,9 +344,14 @@ func (h *api) topk(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, "k must be positive")
 		return
 	}
+	tr := traceOf(w)
+	if tr != nil {
+		tr.isQuery = true
+		tr.engine = c.engName
+	}
 	sc := getResp()
 	defer putResp(sc)
-	hits, err := c.TopKRaw(req.Query, req.K, req.WithTokens, sc.hits[:0])
+	hits, err := c.TopKRaw(req.Query, req.K, req.WithTokens, sc.hits[:0], tr)
 	if err != nil {
 		writeError(w, http.StatusBadRequest, "topk: %v", err)
 		return
@@ -366,6 +397,11 @@ func (h *api) searchBatch(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, "threshold must be in [0, 1]")
 		return
 	}
+	if tr := traceOf(w); tr != nil {
+		tr.isQuery = true
+		tr.engine = c.engName
+		tr.queries = len(req.Queries)
+	}
 	results := c.SearchBatch(req.Queries, req.Threshold, req.Limit, req.WithTokens)
 	sc := getResp()
 	defer putResp(sc)
@@ -399,6 +435,11 @@ func (h *api) topkBatch(w http.ResponseWriter, r *http.Request) {
 	if req.K <= 0 {
 		writeError(w, http.StatusBadRequest, "k must be positive")
 		return
+	}
+	if tr := traceOf(w); tr != nil {
+		tr.isQuery = true
+		tr.engine = c.engName
+		tr.queries = len(req.Queries)
 	}
 	results := c.TopKBatch(req.Queries, req.K, req.WithTokens)
 	sc := getResp()

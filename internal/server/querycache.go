@@ -5,9 +5,9 @@ import (
 	"encoding/binary"
 	"slices"
 	"sync"
-	"sync/atomic"
 
 	"gbkmv"
+	"gbkmv/internal/obs"
 )
 
 // queryCache is the per-collection prepared-query cache: a sharded LRU over
@@ -43,8 +43,11 @@ import (
 // same shared PreparedQuery; a raw key that misses falls back to the
 // canonical lookup and installs itself as an alias on the way out.
 type queryCache struct {
-	shards                  []qcShard
-	hits, misses, evictions atomic.Uint64
+	shards []qcShard
+	// The counters are owned by the Collection (registry children when the
+	// store has metrics, standalone otherwise), not by the cache: a cache
+	// swap (SetQueryCacheSize) must not reset the collection's totals.
+	hits, misses, evictions *obs.Counter
 }
 
 // Key-space prefixes: a raw-bytes key can never collide with a canonical
@@ -88,12 +91,20 @@ type qcEntry struct {
 }
 
 // newQueryCache returns a cache holding up to capacity entries in total, or
-// nil when capacity <= 0 (caching disabled).
+// nil when capacity <= 0 (caching disabled). Counters are standalone; store
+// paths use newQueryCacheWith so totals land in the registry and survive
+// cache swaps.
 func newQueryCache(capacity int) *queryCache {
+	return newQueryCacheWith(capacity, &obs.Counter{}, &obs.Counter{}, &obs.Counter{})
+}
+
+// newQueryCacheWith is newQueryCache with caller-owned counters.
+func newQueryCacheWith(capacity int, hits, misses, evictions *obs.Counter) *queryCache {
 	if capacity <= 0 {
 		return nil
 	}
-	qc := &queryCache{shards: make([]qcShard, qcShards)}
+	qc := &queryCache{shards: make([]qcShard, qcShards),
+		hits: hits, misses: misses, evictions: evictions}
 	per := (capacity + qcShards - 1) / qcShards
 	if per < 1 {
 		per = 1
@@ -221,16 +232,22 @@ type QueryCacheStats struct {
 
 // stats snapshots the counters. Entries takes each shard lock briefly.
 func (qc *queryCache) stats() QueryCacheStats {
-	st := QueryCacheStats{
-		Hits:      qc.hits.Load(),
-		Misses:    qc.misses.Load(),
-		Evictions: qc.evictions.Load(),
+	return QueryCacheStats{
+		Hits:      qc.hits.Value(),
+		Misses:    qc.misses.Value(),
+		Evictions: qc.evictions.Value(),
+		Entries:   qc.entries(),
 	}
+}
+
+// entries counts resident entries, taking each shard lock briefly.
+func (qc *queryCache) entries() int {
+	n := 0
 	for i := range qc.shards {
 		sh := &qc.shards[i]
 		sh.mu.Lock()
-		st.Entries += len(sh.m)
+		n += len(sh.m)
 		sh.mu.Unlock()
 	}
-	return st
+	return n
 }

@@ -53,6 +53,10 @@ type Store struct {
 	cacheCap   int    // prepared-query cache entries per collection; 0 disables
 	logf       func(format string, args ...any)
 
+	metrics     *Metrics     // always non-nil; see metrics.go
+	ready       atomic.Bool  // set once startup loading finished (readiness)
+	slowQueryNs atomic.Int64 // slow-query log threshold; 0 disables
+
 	opMu sync.Mutex // serializes build/delete/snapshot/close (all disk mutation)
 	mu   sync.RWMutex
 	cols map[string]*Collection
@@ -68,7 +72,10 @@ func NewStore(dir string, logf func(format string, args ...any)) (*Store, error)
 	}
 	s := &Store{dir: dir, defaultEng: gbkmv.DefaultEngine, cacheCap: DefaultQueryCacheEntries,
 		logf: logf, cols: make(map[string]*Collection)}
+	s.metrics = newMetrics()
+	s.metrics.reg.OnScrape(s.mirrorCollections)
 	if dir == "" {
+		s.ready.Store(true)
 		return s, nil
 	}
 	if err := os.MkdirAll(dir, 0o755); err != nil {
@@ -91,12 +98,27 @@ func NewStore(dir string, logf func(format string, args ...any)) (*Store, error)
 			s.logf("gbkmvd: skipping collection %q: %v", e.Name(), err)
 			continue
 		}
-		c.qcache = newQueryCache(s.cacheCap)
+		s.attach(c, s.cacheCap)
 		s.cols[c.name] = c
 		s.logf("gbkmvd: loaded collection %q: engine %s, %d records (%d replayed from journal)",
 			c.name, c.eng.EngineName(), c.eng.Len(), c.journaled)
 	}
+	s.ready.Store(true)
 	return s, nil
+}
+
+// attach wires a freshly constructed collection into the store's metric
+// surface: per-collection children resolve once here, the prepared-query
+// cache is created around the registry's counters, and one-shot load
+// telemetry (replay duration, torn-tail recovery) is booked.
+func (s *Store) attach(c *Collection, cacheCap int) {
+	c.engName = c.eng.EngineName()
+	c.metrics = s.metrics.collMetricsFor(c.name)
+	c.qcache = newQueryCacheWith(cacheCap, c.metrics.qcHits, c.metrics.qcMisses, c.metrics.qcEvictions)
+	s.metrics.replaySecs.With(c.name).Set(c.replayDur.Seconds())
+	if c.tornTail {
+		s.metrics.tornTails.With(c.name).Inc()
+	}
 }
 
 // SetDefaultEngine selects the engine used when a build request names none.
@@ -138,7 +160,13 @@ func (s *Store) SetQueryCacheSize(entries int) {
 	s.mu.Unlock()
 	for _, c := range cols {
 		c.mu.Lock()
-		c.qcache = newQueryCache(entries)
+		if c.metrics != nil {
+			// Keep the registry counters across the swap: the cache totals
+			// belong to the collection, not to one cache instance.
+			c.qcache = newQueryCacheWith(entries, c.metrics.qcHits, c.metrics.qcMisses, c.metrics.qcEvictions)
+		} else {
+			c.qcache = newQueryCache(entries)
+		}
 		c.mu.Unlock()
 	}
 }
@@ -232,8 +260,8 @@ func (s *Store) Create(name string, voc *gbkmv.Vocabulary, eng gbkmv.Engine) (*C
 	s.mu.RLock()
 	cacheCap := s.cacheCap
 	s.mu.RUnlock()
-	c := &Collection{name: name, voc: voc, eng: eng, requests: newRequestLog(),
-		qcache: newQueryCache(cacheCap)}
+	c := &Collection{name: name, voc: voc, eng: eng, requests: newRequestLog()}
+	s.attach(c, cacheCap)
 	if s.dir != "" {
 		c.dir = filepath.Join(s.dir, name)
 		// Chain generations past any state already on disk so the new
@@ -302,6 +330,7 @@ func (s *Store) Delete(name string) error {
 		return ErrNotFound
 	}
 	c.closeJournal()
+	s.metrics.removeCollection(name)
 	if c.dir != "" {
 		return os.RemoveAll(c.dir)
 	}
@@ -376,6 +405,13 @@ func (s *Store) Close() error {
 type Collection struct {
 	name string
 	dir  string // collection directory; "" when the store is memory-only
+
+	// Observability wiring, set by Store.attach; all nil/zero (and therefore
+	// inert) for collections assembled outside a store, e.g. in unit tests.
+	metrics   *collMetrics  // resolved per-collection metric children
+	engName   string        // engine name, cached for the request trace
+	replayDur time.Duration // startup journal replay duration (load only)
+	tornTail  bool          // startup replay truncated a torn journal tail
 
 	ioMu     sync.Mutex     // guards journal appends, closed, requests, commit.pending
 	journal  *journalWriter // inserts since the current snapshot; nil when dir == ""
@@ -540,9 +576,16 @@ func (c *Collection) Engine() string {
 // lock (which is what makes the generation read exact: writers bump
 // queryGen under the write lock, so a cache hit is always against the
 // engine state it was prepared under). The returned query is private to the
-// caller.
-func (c *Collection) prepared(tokens []string) (gbkmv.PreparedQuery, error) {
+// caller. tr, when non-nil, receives the cache outcome and token count for
+// the request trace.
+func (c *Collection) prepared(tokens []string, tr *reqTrace) (gbkmv.PreparedQuery, error) {
+	if tr != nil {
+		tr.tokens = len(tokens)
+	}
 	if c.qcache == nil || len(tokens) > maxCachedQueryTokens {
+		if tr != nil {
+			tr.cache = cacheOff
+		}
 		return gbkmv.PrepareTokens(c.eng, c.voc, tokens)
 	}
 	sc := qkeyPool.Get().(*qkeyScratch)
@@ -551,9 +594,15 @@ func (c *Collection) prepared(tokens []string) (gbkmv.PreparedQuery, error) {
 	key := canonicalKey(tokens, sc)
 	if shared, ok := c.qcache.lookup(gen, key); ok {
 		c.qcache.hits.Add(1)
+		if tr != nil {
+			tr.cache = cacheHit
+		}
 		return shared.Clone(), nil
 	}
 	c.qcache.misses.Add(1)
+	if tr != nil {
+		tr.cache = cacheMiss
+	}
 	pq, err := gbkmv.PrepareTokens(c.eng, c.voc, tokens)
 	if err != nil {
 		return nil, err
@@ -578,12 +627,18 @@ func decodeQueryTokens(raw []byte) ([]string, error) {
 // miss the tokens are decoded once and resolved through the canonical (L2)
 // key — preparing only if that misses too — and the raw key is installed as
 // an alias to the shared prepared query so the next byte-identical request
-// takes the fast path. Caller holds the read lock.
-func (c *Collection) preparedRaw(raw []byte) (gbkmv.PreparedQuery, error) {
+// takes the fast path. Caller holds the read lock. tr, when non-nil,
+// receives the cache outcome and token count (-1 when the raw-bytes hit
+// skipped decoding) for the request trace.
+func (c *Collection) preparedRaw(raw []byte, tr *reqTrace) (gbkmv.PreparedQuery, error) {
 	if c.qcache == nil {
 		tokens, err := decodeQueryTokens(raw)
 		if err != nil {
 			return nil, err
+		}
+		if tr != nil {
+			tr.tokens = len(tokens)
+			tr.cache = cacheOff
 		}
 		return gbkmv.PrepareTokens(c.eng, c.voc, tokens)
 	}
@@ -593,23 +648,39 @@ func (c *Collection) preparedRaw(raw []byte) (gbkmv.PreparedQuery, error) {
 	rawKey := rawQueryKey(raw, sc)
 	if shared, ok := c.qcache.lookup(gen, rawKey); ok {
 		c.qcache.hits.Add(1)
+		if tr != nil {
+			tr.tokens = -1 // raw-bytes hit: tokens were never decoded
+			tr.cache = cacheHit
+		}
 		return shared.Clone(), nil
 	}
 	tokens, err := decodeQueryTokens(raw)
 	if err != nil {
 		return nil, err
 	}
+	if tr != nil {
+		tr.tokens = len(tokens)
+	}
 	if len(tokens) > maxCachedQueryTokens {
 		// Too large to cache under either key; prepare uncached.
+		if tr != nil {
+			tr.cache = cacheOff
+		}
 		return gbkmv.PrepareTokens(c.eng, c.voc, tokens)
 	}
 	key := canonicalKey(tokens, sc)
 	if shared, ok := c.qcache.lookup(gen, key); ok {
 		c.qcache.hits.Add(1)
+		if tr != nil {
+			tr.cache = cacheHit
+		}
 		c.qcache.put(gen, rawKey, shared)
 		return shared.Clone(), nil
 	}
 	c.qcache.misses.Add(1)
+	if tr != nil {
+		tr.cache = cacheMiss
+	}
 	pq, err := gbkmv.PrepareTokens(c.eng, c.voc, tokens)
 	if err != nil {
 		return nil, err
@@ -643,25 +714,28 @@ func (c *Collection) appendHits(dst []Hit, scored []gbkmv.Scored, withTokens boo
 func (c *Collection) Search(tokens []string, threshold float64, limit int, withTokens bool, dst []Hit) (hits []Hit, total int, err error) {
 	c.mu.RLock()
 	defer c.mu.RUnlock()
-	q, err := c.prepared(tokens)
+	q, err := c.prepared(tokens, nil)
 	if err != nil {
 		return nil, 0, err
 	}
 	scored, total := q.SearchScored(threshold, limit)
+	c.noteSearch(q, nil)
 	return c.appendHits(dst, scored, withTokens), total, nil
 }
 
 // SearchRaw is Search taking the query as its verbatim request JSON (an
 // array of token strings), which lets a repeated query resolve through the
-// exact-bytes cache key without decoding tokens at all.
-func (c *Collection) SearchRaw(rawQuery []byte, threshold float64, limit int, withTokens bool, dst []Hit) (hits []Hit, total int, err error) {
+// exact-bytes cache key without decoding tokens at all. tr, when non-nil,
+// receives the request trace (cache outcome, per-search work counters).
+func (c *Collection) SearchRaw(rawQuery []byte, threshold float64, limit int, withTokens bool, dst []Hit, tr *reqTrace) (hits []Hit, total int, err error) {
 	c.mu.RLock()
 	defer c.mu.RUnlock()
-	q, err := c.preparedRaw(rawQuery)
+	q, err := c.preparedRaw(rawQuery, tr)
 	if err != nil {
 		return nil, 0, err
 	}
 	scored, total := q.SearchScored(threshold, limit)
+	c.noteSearch(q, tr)
 	return c.appendHits(dst, scored, withTokens), total, nil
 }
 
@@ -670,22 +744,55 @@ func (c *Collection) SearchRaw(rawQuery []byte, threshold float64, limit int, wi
 func (c *Collection) TopK(tokens []string, k int, withTokens bool, dst []Hit) ([]Hit, error) {
 	c.mu.RLock()
 	defer c.mu.RUnlock()
-	q, err := c.prepared(tokens)
+	q, err := c.prepared(tokens, nil)
 	if err != nil {
 		return nil, err
 	}
-	return c.appendHits(dst, q.TopK(k), withTokens), nil
+	hits := c.appendHits(dst, q.TopK(k), withTokens)
+	c.noteSearch(q, nil)
+	return hits, nil
 }
 
 // TopKRaw is TopK taking the query as its verbatim request JSON.
-func (c *Collection) TopKRaw(rawQuery []byte, k int, withTokens bool, dst []Hit) ([]Hit, error) {
+func (c *Collection) TopKRaw(rawQuery []byte, k int, withTokens bool, dst []Hit, tr *reqTrace) ([]Hit, error) {
 	c.mu.RLock()
 	defer c.mu.RUnlock()
-	q, err := c.preparedRaw(rawQuery)
+	q, err := c.preparedRaw(rawQuery, tr)
 	if err != nil {
 		return nil, err
 	}
-	return c.appendHits(dst, q.TopK(k), withTokens), nil
+	hits := c.appendHits(dst, q.TopK(k), withTokens)
+	c.noteSearch(q, tr)
+	return hits, nil
+}
+
+// queryStatser is the optional prepared-query interface behind per-search
+// work counters: the gbkmv and gkmv engines report them (the clone's Stats
+// field is private to this goroutine per the concurrency contract); other
+// backends simply don't satisfy it.
+type queryStatser interface {
+	QueryStats() gbkmv.QueryStats
+}
+
+// noteSearch books a finished search's work counters into the collection's
+// metrics and, when tr is non-nil, the request trace. q must be the private
+// clone the search just ran on.
+func (c *Collection) noteSearch(q gbkmv.PreparedQuery, tr *reqTrace) {
+	if c.metrics == nil && tr == nil {
+		return
+	}
+	qs, ok := q.(queryStatser)
+	if !ok {
+		return
+	}
+	st := qs.QueryStats()
+	c.metrics.observeSearch(st)
+	if tr != nil {
+		tr.stats.candidates = st.Candidates
+		tr.stats.pruned = st.PrunedByBound
+		tr.stats.estimated = st.Estimated
+		tr.stats.bufferAccepts = st.BufferAccepts
+	}
 }
 
 // BatchResult is one query's slot in a batch search or top-k response: its
@@ -714,7 +821,9 @@ type batchSlot struct {
 // the core SearchBatch's workers sketch concurrently). Duplicate queries
 // block on the first worker's prepare and then share the result.
 func (s *batchSlot) prepared(c *Collection) (gbkmv.PreparedQuery, error) {
-	s.once.Do(func() { s.pq, s.err = c.preparedRaw(s.raw) })
+	// No trace here: slots are prepared by racing workers, and the batch
+	// trace is aggregated at the request level, not per slot.
+	s.once.Do(func() { s.pq, s.err = c.preparedRaw(s.raw, nil) })
 	return s.pq, s.err
 }
 
@@ -777,6 +886,7 @@ func runBatch(n int, run func(i int)) {
 // are in input order.
 func (c *Collection) SearchBatch(queries []json.RawMessage, threshold float64, limit int, withTokens bool) []BatchResult {
 	out := make([]BatchResult, len(queries))
+	c.metrics.observeBatch(len(queries))
 	c.mu.RLock()
 	defer c.mu.RUnlock()
 	slots, idx := dedupBatch(queries)
@@ -786,7 +896,9 @@ func (c *Collection) SearchBatch(queries []json.RawMessage, threshold float64, l
 			out[i].Err = err
 			return
 		}
-		scored, total := pq.Clone().SearchScored(threshold, limit)
+		cl := pq.Clone()
+		scored, total := cl.SearchScored(threshold, limit)
+		c.noteSearch(cl, nil)
 		out[i].Hits = c.appendHits(make([]Hit, 0, len(scored)), scored, withTokens)
 		out[i].Total = total
 	})
@@ -796,6 +908,7 @@ func (c *Collection) SearchBatch(queries []json.RawMessage, threshold float64, l
 // TopKBatch is SearchBatch for top-k queries.
 func (c *Collection) TopKBatch(queries []json.RawMessage, k int, withTokens bool) []BatchResult {
 	out := make([]BatchResult, len(queries))
+	c.metrics.observeBatch(len(queries))
 	c.mu.RLock()
 	defer c.mu.RUnlock()
 	slots, idx := dedupBatch(queries)
@@ -805,7 +918,9 @@ func (c *Collection) TopKBatch(queries []json.RawMessage, k int, withTokens bool
 			out[i].Err = err
 			return
 		}
-		scored := pq.Clone().TopK(k)
+		cl := pq.Clone()
+		scored := cl.TopK(k)
+		c.noteSearch(cl, nil)
 		out[i].Hits = c.appendHits(make([]Hit, 0, len(scored)), scored, withTokens)
 	})
 	return out
@@ -908,6 +1023,7 @@ func (c *Collection) Insert(batch [][]string, requestID string) ([]int, error) {
 		c.ioMu.Unlock()
 		return nil, err
 	}
+	c.metrics.addWAL(len(frames), len(batch))
 	g := c.commit.pending
 	leader := g == nil
 	if leader {
@@ -978,14 +1094,18 @@ func (c *Collection) commitGroup(g *commitGroup, holdIoMu bool) {
 	if c.commit.pending == g {
 		c.commit.pending = nil
 	}
+	c.metrics.observeGroup(len(g.members))
 	err := c.journal.Flush()
 	stage := "journal flush"
 	if !holdIoMu {
 		c.ioMu.Unlock()
 	}
 	if err == nil {
+		syncStart := time.Now()
 		if serr := c.journal.SyncFile(); serr != nil {
 			err, stage = serr, "journal sync"
+		} else {
+			c.metrics.observeFsync(time.Since(syncStart))
 		}
 	}
 	if err == nil && !holdIoMu {
@@ -1065,6 +1185,7 @@ func (c *Collection) failPendingLocked(err error) {
 		close(g.done)
 	}
 	if c.journal != nil {
+		c.metrics.incRollback()
 		if rbErr := c.journal.Rollback(c.journal.SyncedOffset()); rbErr != nil {
 			c.journal.Close()
 			c.journal = nil
@@ -1120,6 +1241,16 @@ type CollStats struct {
 	Persistent       bool    `json:"persistent"`
 	Generation       uint64  `json:"generation"`
 	JournaledInserts int     `json:"journaled_inserts"`
+	// WAL durability state: logical journal size (including buffered
+	// not-yet-flushed bytes), the fsynced high-water mark, and how many
+	// insert batches currently sit in the open commit group awaiting their
+	// shared fsync. Zero/omitted for memory-only collections.
+	WALOffsetBytes int64 `json:"wal_offset_bytes,omitempty"`
+	WALSyncedBytes int64 `json:"wal_synced_bytes,omitempty"`
+	OpenGroupDepth int   `json:"open_group_depth"`
+	// QueryGeneration is the cache-key epoch of the engine's in-memory
+	// state, bumped by every applied insert batch.
+	QueryGeneration uint64 `json:"query_generation"`
 	// QueryCache reports the prepared-query cache counters; nil (omitted)
 	// when the cache is disabled.
 	QueryCache *QueryCacheStats `json:"query_cache,omitempty"`
@@ -1127,6 +1258,21 @@ type CollStats struct {
 
 // Stats returns the collection's current statistics.
 func (c *Collection) Stats() CollStats {
+	// Journal state first, under ioMu alone (brief — never across an fsync,
+	// which runs outside ioMu), then the index state under the read lock.
+	// Taking them disjointly respects the lock order and keeps stats from
+	// blocking behind an in-flight commit's apply phase.
+	var walOff, walSynced int64
+	var groupDepth int
+	c.ioMu.Lock()
+	if c.journal != nil {
+		walOff = c.journal.Offset()
+		walSynced = c.journal.SyncedOffset()
+	}
+	if g := c.commit.pending; g != nil {
+		groupDepth = len(g.members)
+	}
+	c.ioMu.Unlock()
 	c.mu.RLock()
 	defer c.mu.RUnlock()
 	st := c.eng.EngineStats()
@@ -1151,6 +1297,10 @@ func (c *Collection) Stats() CollStats {
 		Persistent:       c.dir != "",
 		Generation:       c.gen,
 		JournaledInserts: c.journaled,
+		WALOffsetBytes:   walOff,
+		WALSyncedBytes:   walSynced,
+		OpenGroupDepth:   groupDepth,
+		QueryGeneration:  c.queryGen.Load(),
 		QueryCache:       qcs,
 	}
 }
@@ -1394,9 +1544,16 @@ func loadCollection(dir string) (*Collection, error) {
 	if err != nil {
 		return nil, err
 	}
+	replayStart := time.Now()
 	entries, validLen, err := replayJournal(journalPath(dir, m.Generation))
 	if err != nil {
 		return nil, err
+	}
+	// A torn tail — bytes past the last intact entry, left by a crash mid
+	// append — is detected here, before openJournalWriter truncates it away.
+	tornTail := false
+	if fi, err := os.Stat(journalPath(dir, m.Generation)); err == nil && fi.Size() > validLen {
+		tornTail = true
 	}
 	// Re-intern in entry order (reproducing the original ids), then apply
 	// as one batch so an over-budget threshold shrink (or a static engine's
@@ -1439,6 +1596,8 @@ func loadCollection(dir string) (*Collection, error) {
 		journal:   jw,
 		journaled: len(entries),
 		requests:  requests,
+		replayDur: time.Since(replayStart),
+		tornTail:  tornTail,
 	}, nil
 }
 

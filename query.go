@@ -132,3 +132,16 @@ func (q *Query) Estimate(i int) float64 {
 func (q *Query) EstimateWithError(i int) (est, stderr float64) {
 	return q.inner.EstimateWithError(q.current(), i)
 }
+
+// QueryStats counts the work one search performed: candidates generated,
+// candidates dismissed by the upper-bound prune without paying a sketch
+// merge, full estimates computed, and hits settled by the exact buffer part
+// alone. These are the observables behind the paper's accuracy/space/latency
+// trade-off — the buffer and budget knobs move exactly these numbers.
+type QueryStats = core.QueryStats
+
+// QueryStats returns the work counters of the most recent Search,
+// SearchScored or TopK call on this query. It follows the Query concurrency
+// contract: read it from the goroutine that ran the search (clones report
+// their own searches independently).
+func (q *Query) QueryStats() QueryStats { return q.sig.Stats }
