@@ -25,6 +25,14 @@
 // reports readiness, -slow-query logs slow searches with their trace, and
 // -debug-addr serves net/http/pprof on a separate operator-only listener.
 //
+// Replication: -follow <leader-url> runs the daemon as a read replica — it
+// bootstraps every collection from the leader's snapshots, tails the
+// leader's journal stream, serves the full read API, redirects writes to
+// the leader (307), and holds /readyz at 503 until bootstrap completes and
+// replica lag is under -repl-ready-lag bytes:
+//
+//	gbkmvd -addr :7879 -data ./replica-data -follow http://leader:7878
+//
 // See the Handler documentation in internal/server (and README.md) for the
 // full endpoint list.
 package main
@@ -43,6 +51,7 @@ import (
 	"time"
 
 	"gbkmv"
+	"gbkmv/internal/repl"
 	"gbkmv/internal/server"
 )
 
@@ -57,8 +66,17 @@ func main() {
 		readTimeout = flag.Duration("read-timeout", 5*time.Minute, "HTTP read timeout (bulk builds can be large)")
 		slowQuery   = flag.Duration("slow-query", 0, "log search requests taking at least this long, with their trace (0 disables)")
 		debugAddr   = flag.String("debug-addr", "", "listen address for net/http/pprof profiling endpoints; empty disables them")
+
+		follow       = flag.String("follow", "", "run as a read replica of the leader at this base URL (e.g. http://leader:7878)")
+		replPoll     = flag.Duration("repl-poll", 3*time.Second, "replica: leader collection-listing poll interval")
+		replWait     = flag.Duration("repl-wait", 10*time.Second, "replica: long-poll duration per WAL stream request")
+		replReadyLag = flag.Int64("repl-ready-lag", 1<<20, "replica: /readyz reports ready only under this many bytes of replica lag")
 	)
 	flag.Parse()
+
+	if *follow != "" && *dataDir == "" {
+		log.Fatalf("gbkmvd: -follow requires -data (replicated state must be durable to resume after a restart)")
+	}
 
 	store, err := server.NewStore(*dataDir, log.Printf)
 	if err != nil {
@@ -74,6 +92,26 @@ func main() {
 		}
 	}
 	store.SetSlowQueryThreshold(*slowQuery)
+
+	// Follower mode: New fences writes and gates /readyz immediately (before
+	// the listener opens, so a load balancer never sees a ready cold
+	// replica); Start begins bootstrapping and tailing the leader.
+	var follower *repl.Follower
+	if *follow != "" {
+		f, err := repl.New(repl.Options{
+			Leader:        strings.TrimRight(*follow, "/"),
+			Store:         store,
+			PollInterval:  *replPoll,
+			Wait:          *replWait,
+			ReadyLagBytes: *replReadyLag,
+		})
+		if err != nil {
+			log.Fatalf("gbkmvd: -follow: %v", err)
+		}
+		follower = f
+		follower.Start(context.Background())
+		log.Printf("gbkmvd: following %s", *follow)
+	}
 
 	// The profiling endpoints live on their own listener (and a dedicated
 	// mux, so they never leak onto the API port): pprof exposes heap contents
@@ -123,6 +161,13 @@ func main() {
 	defer cancel()
 	if err := srv.Shutdown(shutdownCtx); err != nil && !errors.Is(err, context.DeadlineExceeded) {
 		log.Printf("gbkmvd: shutdown: %v", err)
+	}
+	// Stop replicating before closing the store: an apply racing the close
+	// would just fail noisily. Followers skip the shutdown snapshot inside
+	// Close — their generation must keep tracking the leader's — and resume
+	// from their own journal on restart.
+	if follower != nil {
+		follower.Close()
 	}
 	// Snapshot every collection with unsnapshotted inserts and close the
 	// journals, so a restart replays nothing it doesn't have to.

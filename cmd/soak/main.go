@@ -13,6 +13,16 @@
 // Usage:
 //
 //	soak -addr http://localhost:7878 -file inserts.jsonl -duration 30s -clients 8
+//
+// With -read-addrs the workload exercises a replicated deployment: writes
+// keep going to -addr (the leader) while searches fan out round-robin
+// across the listed nodes (typically the leader plus its read replicas).
+// Latency percentiles are then reported per node per operation, and each
+// replica's observed lag (bytes, entries, seconds behind the leader) is
+// scraped from its /stats after the run:
+//
+//	soak -addr http://leader:7878 -read-addrs http://replica1:7879,http://replica2:7880 \
+//	  -file inserts.jsonl -duration 60s
 package main
 
 import (
@@ -52,7 +62,8 @@ var opNames = [numOps]string{"insert", "search", "search:batch"}
 
 func main() {
 	var (
-		addr       = flag.String("addr", "http://localhost:7878", "gbkmvd base URL")
+		addr       = flag.String("addr", "http://localhost:7878", "gbkmvd base URL (the leader: all writes go here)")
+		readAddrs  = flag.String("read-addrs", "", "comma-separated node base URLs searches fan out across round-robin (default: just -addr)")
 		file       = flag.String("file", "", "datagen -zipf-clients JSONL insert stream (required)")
 		coll       = flag.String("collection", "soak", "collection name to build and drive")
 		duration   = flag.Duration("duration", 30*time.Second, "how long to run the mixed workload")
@@ -78,12 +89,27 @@ func main() {
 	}
 
 	client := &http.Client{Timeout: 60 * time.Second}
-	base := strings.TrimRight(*addr, "/") + "/collections/" + *coll
+	leader := strings.TrimRight(*addr, "/")
+	base := leader + "/collections/" + *coll
+	// readNodes are the bases searches rotate across; writes stay on the
+	// leader (replicas redirect them anyway).
+	readNodes := []string{leader}
+	if *readAddrs != "" {
+		readNodes = nil
+		for _, a := range strings.Split(*readAddrs, ",") {
+			if a = strings.TrimRight(strings.TrimSpace(a), "/"); a != "" {
+				readNodes = append(readNodes, a)
+			}
+		}
+		if len(readNodes) == 0 {
+			log.Fatalf("soak: -read-addrs parsed to no nodes")
+		}
+	}
 	if err := buildCollection(client, base, records[:*seedN]); err != nil {
 		log.Fatalf("soak: building %s: %v", *coll, err)
 	}
-	log.Printf("soak: built %s with %d seed records; running %d clients for %s",
-		*coll, *seedN, *clients, *duration)
+	log.Printf("soak: built %s with %d seed records; running %d clients for %s (reads across %d nodes)",
+		*coll, *seedN, *clients, *duration, len(readNodes))
 
 	// inserted is the high-water mark of records visible to searches; next
 	// hands out insert records. Both start past the seed set.
@@ -91,11 +117,25 @@ func main() {
 	inserted.Store(int64(*seedN))
 	next.Store(int64(*seedN))
 
-	var hists [numOps]*obs.Histogram
-	for i := range hists {
-		hists[i] = obs.NewHistogram(obs.LatencyBuckets)
-	}
-	var errs atomic.Int64
+	// Latency histograms are per node per op, so a lagging or overloaded
+	// replica shows up as its own row instead of blurring the aggregate.
+	// Writes always hit node 0's slot of the leader; reads use the chosen
+	// read node's slot.
+	nodeHist := func() map[string]*[numOps]*obs.Histogram {
+		m := make(map[string]*[numOps]*obs.Histogram, len(readNodes)+1)
+		for _, n := range append([]string{leader}, readNodes...) {
+			if _, ok := m[n]; ok {
+				continue
+			}
+			var hs [numOps]*obs.Histogram
+			for i := range hs {
+				hs[i] = obs.NewHistogram(obs.LatencyBuckets)
+			}
+			m[n] = &hs
+		}
+		return m
+	}()
+	var errs, rr atomic.Int64
 
 	deadline := time.Now().Add(*duration)
 	var wg sync.WaitGroup
@@ -112,6 +152,11 @@ func main() {
 				case p < *insertFrac+*batchFrac:
 					op = opBatch
 				}
+				node := leader
+				if op != opInsert {
+					node = readNodes[int(rr.Add(1)-1)%len(readNodes)]
+				}
+				nodeBase := node + "/collections/" + *coll
 				start := time.Now()
 				var err error
 				switch op {
@@ -119,21 +164,23 @@ func main() {
 					i := next.Add(1) - 1
 					if int(i) >= len(records) {
 						op = opSearch // stream exhausted: degrade to searches
-						err = doSearch(client, base, records, &inserted, rng, *threshold)
+						node = readNodes[int(rr.Add(1)-1)%len(readNodes)]
+						nodeBase = node + "/collections/" + *coll
+						err = doSearch(client, nodeBase, records, &inserted, rng, *threshold)
 						break
 					}
-					err = doInsert(client, base, records[i])
+					err = doInsert(client, nodeBase, records[i])
 					if err == nil {
 						// Visible only after acknowledgement; monotonic is
 						// enough for query sampling.
 						inserted.Store(i + 1)
 					}
 				case opSearch:
-					err = doSearch(client, base, records, &inserted, rng, *threshold)
+					err = doSearch(client, nodeBase, records, &inserted, rng, *threshold)
 				case opBatch:
-					err = doBatch(client, base, records, &inserted, rng, *threshold, *batchSize)
+					err = doBatch(client, nodeBase, records, &inserted, rng, *threshold, *batchSize)
 				}
-				hists[op].Observe(time.Since(start).Seconds())
+				nodeHist[node][op].Observe(time.Since(start).Seconds())
 				if err != nil {
 					errs.Add(1)
 				}
@@ -142,19 +189,28 @@ func main() {
 	}
 	wg.Wait()
 
-	fmt.Printf("\n%-13s %10s %10s %10s %10s\n", "op", "count", "p50", "p95", "p99")
-	for i, h := range hists {
-		s := h.Snapshot()
-		if s.Count == 0 {
-			continue
+	fmt.Printf("\n%-28s %-13s %10s %10s %10s %10s\n", "node", "op", "count", "p50", "p95", "p99")
+	printNode := func(node string) {
+		for i, h := range nodeHist[node] {
+			s := h.Snapshot()
+			if s.Count == 0 {
+				continue
+			}
+			fmt.Printf("%-28s %-13s %10d %10s %10s %10s\n", node, opNames[i], s.Count,
+				fmtSecs(s.Quantile(0.5)), fmtSecs(s.Quantile(0.95)), fmtSecs(s.Quantile(0.99)))
 		}
-		fmt.Printf("%-13s %10d %10s %10s %10s\n", opNames[i], s.Count,
-			fmtSecs(s.Quantile(0.5)), fmtSecs(s.Quantile(0.95)), fmtSecs(s.Quantile(0.99)))
+	}
+	printNode(leader)
+	for _, n := range readNodes {
+		if n != leader {
+			printNode(n)
+		}
 	}
 	if n := errs.Load(); n > 0 {
 		fmt.Printf("errors: %d\n", n)
 	}
-	printServerMetrics(client, strings.TrimRight(*addr, "/")+"/metrics", *coll)
+	printReplicaLag(client, readNodes, leader, *coll)
+	printServerMetrics(client, leader+"/metrics", *coll)
 }
 
 func loadRecords(path string) ([][]string, error) {
@@ -226,6 +282,45 @@ func doBatch(client *http.Client, base string, records [][]string, inserted *ato
 	}
 	return post(client, http.MethodPost, base+"/search:batch", map[string]any{
 		"queries": queries, "threshold": threshold, "limit": 10})
+}
+
+// printReplicaLag scrapes each read node's /stats and prints its observed
+// replication lag — the end-of-run answer to "how far behind were the
+// replicas we were reading from".
+func printReplicaLag(client *http.Client, readNodes []string, leader, coll string) {
+	printed := false
+	for _, node := range readNodes {
+		if node == leader {
+			continue
+		}
+		resp, err := client.Get(node + "/collections/" + coll + "/stats")
+		if err != nil {
+			log.Printf("soak: scraping %s stats: %v", node, err)
+			continue
+		}
+		var st struct {
+			Replication *struct {
+				Bootstrapped bool    `json:"bootstrapped"`
+				LagBytes     int64   `json:"replica_lag_bytes"`
+				LagEntries   int     `json:"replica_lag_entries"`
+				LagSeconds   float64 `json:"replica_lag_seconds"`
+				Reconnects   int64   `json:"stream_reconnects"`
+			} `json:"replication"`
+		}
+		err = json.NewDecoder(resp.Body).Decode(&st)
+		resp.Body.Close()
+		if err != nil || st.Replication == nil {
+			log.Printf("soak: %s reports no replication state (not a follower?)", node)
+			continue
+		}
+		if !printed {
+			fmt.Printf("\nreplica lag at end of run:\n")
+			printed = true
+		}
+		r := st.Replication
+		fmt.Printf("  %-28s bootstrapped=%v lag=%dB/%d entries/%.2fs reconnects=%d\n",
+			node, r.Bootstrapped, r.LagBytes, r.LagEntries, r.LagSeconds, r.Reconnects)
+	}
 }
 
 // printServerMetrics scrapes /metrics and prints the series relevant to the

@@ -28,6 +28,13 @@ const maxBodyBytes = 256 << 20
 //	POST   /collections/{name}/search:batch  many searches in one request
 //	POST   /collections/{name}/topk:batch    many top-k queries in one request
 //	POST   /collections/{name}/snapshot  persist now, truncating the journal
+//	GET    /collections/{name}/wal       replication stream (raw journal frames)
+//	GET    /collections/{name}/repl/manifest  committed generation, for bootstrap
+//	GET    /collections/{name}/repl/file      snapshot file transfer, for bootstrap
+//
+// On a follower (Store.SetFollower) the write endpoints — build, delete,
+// insert, snapshot — answer 307 Temporary Redirect to the leader instead of
+// mutating replicated state.
 //
 // Every response carries an X-Request-Id (echoed from the request when the
 // client sent one); the whole mux is wrapped in the observability middleware
@@ -48,6 +55,9 @@ func Handler(s *Store) http.Handler {
 	mux.HandleFunc("POST /collections/{name}/search:batch", h.searchBatch)
 	mux.HandleFunc("POST /collections/{name}/topk:batch", h.topkBatch)
 	mux.HandleFunc("POST /collections/{name}/snapshot", h.snapshot)
+	mux.HandleFunc("GET /collections/{name}/wal", h.walStream)
+	mux.HandleFunc("GET /collections/{name}/repl/manifest", h.replManifest)
+	mux.HandleFunc("GET /collections/{name}/repl/file", h.replFile)
 	return withObservability(s, mux)
 }
 
@@ -75,6 +85,23 @@ func decode(w http.ResponseWriter, r *http.Request, v any) bool {
 	return true
 }
 
+// fenceWrite answers write requests on a read replica: 307 Temporary
+// Redirect to the same URI on the leader (307 keeps the method and body, so
+// a client that follows it retries the write verbatim — request-id dedup
+// included). Reports whether the request was fenced.
+func (h *api) fenceWrite(w http.ResponseWriter, r *http.Request) bool {
+	leader := h.store.FollowerLeader()
+	if leader == "" {
+		return false
+	}
+	w.Header().Set("Location", leader+r.URL.RequestURI())
+	writeJSON(w, http.StatusTemporaryRedirect, map[string]any{
+		"error":  "this node is a read-only replica; writes go to the leader",
+		"leader": leader,
+	})
+	return true
+}
+
 // collection resolves the {name} path value, writing a 404 on miss.
 func (h *api) collection(w http.ResponseWriter, r *http.Request) (*Collection, bool) {
 	name := r.PathValue("name")
@@ -98,6 +125,15 @@ func (h *api) health(w http.ResponseWriter, r *http.Request) {
 func (h *api) ready(w http.ResponseWriter, r *http.Request) {
 	if !h.store.ready.Load() {
 		writeJSON(w, http.StatusServiceUnavailable, map[string]any{"status": "loading"})
+		return
+	}
+	if ok, reason := h.store.readyGate(); !ok {
+		// A follower is not ready until bootstrap finished and replica lag is
+		// under its bound — a load balancer must not route to a cold replica.
+		writeJSON(w, http.StatusServiceUnavailable, map[string]any{
+			"status": "replicating",
+			"reason": reason,
+		})
 		return
 	}
 	writeJSON(w, http.StatusOK, map[string]any{
@@ -147,6 +183,9 @@ type buildRequest struct {
 }
 
 func (h *api) build(w http.ResponseWriter, r *http.Request) {
+	if h.fenceWrite(w, r) {
+		return
+	}
 	name := r.PathValue("name")
 	if !ValidName(name) {
 		writeError(w, http.StatusBadRequest, "invalid collection name %q", name)
@@ -222,6 +261,9 @@ func (h *api) build(w http.ResponseWriter, r *http.Request) {
 }
 
 func (h *api) delete(w http.ResponseWriter, r *http.Request) {
+	if h.fenceWrite(w, r) {
+		return
+	}
 	name := r.PathValue("name")
 	switch err := h.store.Delete(name); {
 	case errors.Is(err, ErrNotFound):
@@ -238,7 +280,14 @@ func (h *api) stats(w http.ResponseWriter, r *http.Request) {
 	if !ok {
 		return
 	}
-	writeJSON(w, http.StatusOK, c.Stats())
+	st := c.Stats()
+	if h.store.FollowerLeader() != "" {
+		st.Role = "follower"
+		st.Replication = h.store.replStatsFor(c.name)
+	} else {
+		st.Role = "leader"
+	}
+	writeJSON(w, http.StatusOK, st)
 }
 
 type insertRequest struct {
@@ -251,6 +300,9 @@ type insertRequest struct {
 }
 
 func (h *api) insert(w http.ResponseWriter, r *http.Request) {
+	if h.fenceWrite(w, r) {
+		return
+	}
 	c, ok := h.collection(w, r)
 	if !ok {
 		return
@@ -449,6 +501,9 @@ func (h *api) topkBatch(w http.ResponseWriter, r *http.Request) {
 }
 
 func (h *api) snapshot(w http.ResponseWriter, r *http.Request) {
+	if h.fenceWrite(w, r) {
+		return
+	}
 	name := r.PathValue("name")
 	c, err := h.store.Snapshot(name)
 	switch {

@@ -15,6 +15,7 @@ import (
 	"hash/crc32"
 	"io"
 	"os"
+	"sync/atomic"
 )
 
 // The journal is a flat file of length-prefixed entries (the siser idiom:
@@ -57,7 +58,12 @@ type journalWriter struct {
 	off int64 // logical size: file bytes plus buffered bytes
 
 	flushed int64 // bytes handed to the OS (Flush high-water mark)
-	synced  int64 // bytes made durable (SyncFile high-water mark)
+
+	// synced is the durable high-water mark (bytes made durable by
+	// SyncFile). Atomic because it is read lock-free by observers that
+	// hold neither commit lock: Stats under ioMu only, and the wal-stream
+	// status snapshot, both racing the commit leader's post-fsync update.
+	synced atomic.Int64
 
 	// syncHook and writeHook, when set, replace the fsync / precede the
 	// frame write — fault injection for the group-commit failure tests.
@@ -81,7 +87,9 @@ func openJournalWriter(path string, validLen int64) (*journalWriter, error) {
 		f.Close()
 		return nil, err
 	}
-	return &journalWriter{f: f, buf: bufio.NewWriter(f), off: validLen, flushed: validLen, synced: validLen}, nil
+	j := &journalWriter{f: f, buf: bufio.NewWriter(f), off: validLen, flushed: validLen}
+	j.synced.Store(validLen)
+	return j, nil
 }
 
 // journalEntry is one replayed insert: its tokens and, when the insert
@@ -191,8 +199,8 @@ func (j *journalWriter) Rollback(off int64) error {
 	}
 	j.off = off
 	j.flushed = off
-	if j.synced > off {
-		j.synced = off
+	if j.synced.Load() > off {
+		j.synced.Store(off)
 	}
 	return nil
 }
@@ -223,8 +231,8 @@ func (j *journalWriter) SyncFile() error {
 	if err := sync(); err != nil {
 		return err
 	}
-	if covered > j.synced {
-		j.synced = covered
+	if covered > j.synced.Load() {
+		j.synced.Store(covered)
 	}
 	return nil
 }
@@ -232,7 +240,7 @@ func (j *journalWriter) SyncFile() error {
 // SyncedOffset returns the durable high-water mark: every byte below it has
 // been fsynced. It is the rollback target after a failed group commit —
 // everything above it is unacknowledged by construction.
-func (j *journalWriter) SyncedOffset() int64 { return j.synced }
+func (j *journalWriter) SyncedOffset() int64 { return j.synced.Load() }
 
 // Sync flushes buffered entries and fsyncs the file — the one-call form
 // for single-writer callers (tests); the group-commit path drives Flush and
@@ -283,7 +291,9 @@ func decodeEntry(payload []byte) (journalEntry, error) {
 // missing file is an empty journal. A torn or corrupt tail entry ends the
 // replay at the last intact offset; corruption *before* the end of the file
 // (a bad CRC followed by more data) is reported as an error, since silently
-// dropping interior records would be data loss.
+// dropping interior records would be data loss. The frame-decode loop
+// itself lives in journalScanner (journal_reader.go), shared with the
+// replication apply path.
 func replayJournal(path string) (entries []journalEntry, validLen int64, err error) {
 	f, err := os.Open(path)
 	if errors.Is(err, os.ErrNotExist) {
@@ -293,64 +303,14 @@ func replayJournal(path string) (entries []journalEntry, validLen int64, err err
 		return nil, 0, err
 	}
 	defer f.Close()
-	size, err := f.Seek(0, io.SeekEnd)
+	fi, err := f.Stat()
 	if err != nil {
 		return nil, 0, err
 	}
-	if _, err := f.Seek(0, io.SeekStart); err != nil {
+	s := newJournalScanner(f, 0, fi.Size(), path)
+	entries, err = s.scanAll()
+	if err != nil {
 		return nil, 0, err
 	}
-	r := bufio.NewReader(f)
-	var off int64
-	for {
-		var hdr [12]byte
-		if _, err := io.ReadFull(r, hdr[:]); err != nil {
-			switch err {
-			case io.EOF:
-				return entries, off, nil // clean end
-			case io.ErrUnexpectedEOF:
-				return entries, off, nil // torn header: truncate back
-			default:
-				// A transient read error (EIO, ...) is not a torn tail;
-				// truncating on it would delete acknowledged entries.
-				return nil, 0, fmt.Errorf("journal %s: reading header at offset %d: %v", path, off, err)
-			}
-		}
-		n := binary.BigEndian.Uint32(hdr[0:4])
-		hdrSum := binary.BigEndian.Uint32(hdr[4:8])
-		sum := binary.BigEndian.Uint32(hdr[8:12])
-		if crc32.ChecksumIEEE(hdr[0:4]) != hdrSum {
-			// A torn write produces a *short* header (caught above), never
-			// a complete one with a bad length checksum: this is
-			// corruption, and trusting the length would misread — or,
-			// worse, silently truncate — everything after it.
-			return nil, 0, fmt.Errorf("journal %s: corrupt entry header at offset %d", path, off)
-		}
-		if int64(n) > size-off-int64(len(hdr)) {
-			return entries, off, nil // length overruns the file: torn tail
-		}
-		if n > journalMaxEntry {
-			return nil, 0, fmt.Errorf("journal %s: entry at offset %d claims %d bytes", path, off, n)
-		}
-		payload := make([]byte, n)
-		if _, err := io.ReadFull(r, payload); err != nil {
-			if err == io.EOF || err == io.ErrUnexpectedEOF {
-				return entries, off, nil // torn payload: truncate back
-			}
-			return nil, 0, fmt.Errorf("journal %s: reading entry at offset %d: %v", path, off, err)
-		}
-		entryEnd := off + int64(len(hdr)) + int64(n)
-		if crc32.ChecksumIEEE(payload) != sum {
-			if entryEnd < size {
-				return nil, 0, fmt.Errorf("journal %s: corrupt entry at offset %d", path, off)
-			}
-			return entries, off, nil // corrupt tail: truncate back
-		}
-		entry, err := decodeEntry(payload)
-		if err != nil {
-			return nil, 0, fmt.Errorf("journal %s: entry at offset %d: %v", path, off, err)
-		}
-		entries = append(entries, entry)
-		off = entryEnd
-	}
+	return entries, s.Offset(), nil
 }

@@ -1,0 +1,151 @@
+package server
+
+import (
+	"bytes"
+	"reflect"
+	"testing"
+)
+
+// scannerFixture builds a frame stream of five entries (mixing tagged and
+// untagged frames) and returns the stream plus each frame's end boundary.
+func scannerFixture(t *testing.T) (frames []byte, boundaries []int64, want []journalEntry) {
+	t.Helper()
+	want = []journalEntry{
+		{Tokens: []string{"a", "b"}},
+		{Tokens: []string{"c"}, RequestID: "r1"},
+		{Tokens: []string{"d", "e", "f"}, RequestID: "r1"},
+		{Tokens: []string{"g"}},
+		{Tokens: []string{"h", "i"}, RequestID: "r2"},
+	}
+	for _, e := range want {
+		var err error
+		frames, err = marshalFrame(frames, e.Tokens, e.RequestID)
+		if err != nil {
+			t.Fatal(err)
+		}
+		boundaries = append(boundaries, int64(len(frames)))
+	}
+	return frames, boundaries, want
+}
+
+// TestScannerEveryCutPoint cuts the stream at every possible byte length:
+// the scanner must return exactly the fully-contained frames, report the
+// last intact boundary as its offset, and never error — a cut is either a
+// clean end (on a boundary) or a torn tail (anywhere else).
+func TestScannerEveryCutPoint(t *testing.T) {
+	frames, boundaries, want := scannerFixture(t)
+	for cut := 0; cut <= len(frames); cut++ {
+		s := newFrameScanner(frames[:cut], 0, "cut")
+		got, err := s.scanAll()
+		if err != nil {
+			t.Fatalf("cut %d: %v", cut, err)
+		}
+		wantN := 0
+		var wantOff int64
+		for i, b := range boundaries {
+			if int64(cut) >= b {
+				wantN, wantOff = i+1, b
+			}
+		}
+		if len(got) != wantN || s.Offset() != wantOff {
+			t.Fatalf("cut %d: %d entries at offset %d, want %d at %d", cut, len(got), s.Offset(), wantN, wantOff)
+		}
+		for i := range got {
+			if !reflect.DeepEqual(got[i], want[i]) {
+				t.Fatalf("cut %d entry %d = %+v, want %+v", cut, i, got[i], want[i])
+			}
+		}
+	}
+}
+
+// TestScannerResync proves the torn-tail offset is a valid resume point:
+// rescanning the remainder of the stream from Offset() yields exactly the
+// entries the cut withheld — the contract both the follower's reconnect
+// and startup replay's truncation rely on.
+func TestScannerResync(t *testing.T) {
+	frames, boundaries, want := scannerFixture(t)
+	// Cut mid-way through the fourth frame.
+	cut := int(boundaries[3]) - 3
+	s := newFrameScanner(frames[:cut], 0, "first")
+	head, err := s.scanAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(head) != 3 || s.Offset() != boundaries[2] {
+		t.Fatalf("head scan: %d entries at %d, want 3 at %d", len(head), s.Offset(), boundaries[2])
+	}
+	// Resume from the reported offset over the rest of the stream (base
+	// offset carried through, as the follower does when re-requesting).
+	s2 := newFrameScanner(frames[s.Offset():], s.Offset(), "resync")
+	tail, err := s2.scanAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := append(head, tail...); !reflect.DeepEqual(got, want) {
+		t.Fatalf("resynced entries = %+v, want %+v", got, want)
+	}
+	if s2.Offset() != int64(len(frames)) {
+		t.Fatalf("resynced offset = %d, want %d", s2.Offset(), len(frames))
+	}
+}
+
+// TestScannerInteriorCorruptionIsHardError: a bad payload CRC with frames
+// after it can't be a torn tail — silently truncating would drop
+// acknowledged entries.
+func TestScannerInteriorCorruption(t *testing.T) {
+	frames, _, _ := scannerFixture(t)
+	mangled := bytes.Clone(frames)
+	mangled[13] ^= 0xff // inside the first frame's payload
+	if _, err := newFrameScanner(mangled, 0, "corrupt").scanAll(); err == nil {
+		t.Fatal("interior corruption not reported")
+	}
+}
+
+// TestScannerCorruptFinalFrame: with a known size bound, a bad CRC on the
+// very last frame is indistinguishable from a torn append and must scan as
+// one; with the bound unknown (a network stream of sealed frames), the same
+// bytes are corruption.
+func TestScannerCorruptFinalFrame(t *testing.T) {
+	frames, boundaries, _ := scannerFixture(t)
+	mangled := bytes.Clone(frames)
+	mangled[len(mangled)-1] ^= 0xff
+	s := newFrameScanner(mangled, 0, "tail")
+	got, err := s.scanAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 4 || s.Offset() != boundaries[3] {
+		t.Fatalf("%d entries at %d, want 4 at %d", len(got), s.Offset(), boundaries[3])
+	}
+	su := newJournalScanner(bytes.NewReader(mangled), 0, -1, "stream")
+	if _, err := su.scanAll(); err == nil {
+		t.Fatal("corrupt frame on an unbounded stream not reported")
+	}
+}
+
+// TestScannerCorruptHeaderCRC: a complete header whose length checksum
+// doesn't match is corruption everywhere — a torn write produces a short
+// header, never a wrong one.
+func TestScannerCorruptHeaderCRC(t *testing.T) {
+	frames, boundaries, _ := scannerFixture(t)
+	mangled := bytes.Clone(frames)
+	mangled[boundaries[1]+5] ^= 0xff // length CRC of the third frame
+	if _, err := newFrameScanner(mangled, 0, "hdr").scanAll(); err == nil {
+		t.Fatal("corrupt header CRC not reported")
+	}
+}
+
+// TestForEachRidRun checks the batch partitioning both replay paths share.
+func TestForEachRidRun(t *testing.T) {
+	_, _, want := scannerFixture(t)
+	type run struct {
+		start, end int
+		rid        string
+	}
+	var got []run
+	forEachRidRun(want, func(i, j int, rid string) { got = append(got, run{i, j, rid}) })
+	expect := []run{{0, 1, ""}, {1, 3, "r1"}, {3, 4, ""}, {4, 5, "r2"}}
+	if !reflect.DeepEqual(got, expect) {
+		t.Fatalf("runs = %v, want %v", got, expect)
+	}
+}

@@ -1,0 +1,271 @@
+package server
+
+import (
+	"errors"
+	"fmt"
+	"path/filepath"
+)
+
+// Follower side of replication: the store-level role switch and the
+// collection-level apply path. The follower process logic (bootstrap,
+// stream tailing, reconnect) lives in internal/repl; this file is the
+// surface it drives, kept inside package server because it works the same
+// locks and invariants as the local write path.
+//
+// The apply path deliberately mirrors the leader's commit path, with the
+// roles of journal and client swapped: the leader journals what clients
+// send, the follower journals what the leader's journal already contains.
+// Frames are appended verbatim, flushed and fsynced *before* they are
+// applied to the engine — the follower's acknowledged position (its own
+// SyncedOffset) never outruns its disk, so a follower crash replays its
+// local journal on restart and resumes the stream from exactly where it
+// left off, with no re-bootstrap and no gap. Applying through the same
+// applyBatch the leader uses keeps every derived invariant for free:
+// record ids assign in journal order, the duplicate-detection window
+// rebuilds from the echoed request ids, and the query generation bumps
+// under the write lock so the prepared-query cache never serves stale
+// hits.
+
+// ErrReplDiverged marks a replica whose local journal position no longer
+// matches what the leader serves — a stale generation, an offset mismatch,
+// or a handoff to an unexpected generation. The follower recovers by
+// re-bootstrapping; the error exists so it can tell that apart from a
+// transient storage failure.
+var ErrReplDiverged = errors.New("server: replica diverged from leader")
+
+// SetFollower marks the store as a read replica of the leader at the given
+// base URL ("" reverts to leader role). Every write endpoint then fences
+// with a redirect to the leader; Close stops snapshotting (a replica's
+// generation must track the leader's).
+func (s *Store) SetFollower(leaderURL string) { s.leaderURL.Store(leaderURL) }
+
+// FollowerLeader returns the leader base URL, or "" when this store is the
+// leader.
+func (s *Store) FollowerLeader() string {
+	v, _ := s.leaderURL.Load().(string)
+	return v
+}
+
+// SetReadyCheck installs an extra /readyz gate: the endpoint reports 503
+// with the returned reason until fn reports true. The follower uses it to
+// keep load balancers away until bootstrap finished and lag is bounded.
+func (s *Store) SetReadyCheck(fn func() (ok bool, reason string)) { s.readyCheck.Store(fn) }
+
+func (s *Store) readyGate() (bool, string) {
+	if fn, ok := s.readyCheck.Load().(func() (bool, string)); ok && fn != nil {
+		return fn()
+	}
+	return true, ""
+}
+
+// SetReplStatsProvider installs the per-collection replication-state
+// source /stats annotates responses from (nil for collections the provider
+// doesn't track).
+func (s *Store) SetReplStatsProvider(fn func(name string) *ReplStats) { s.replStats.Store(fn) }
+
+func (s *Store) replStatsFor(name string) *ReplStats {
+	if fn, ok := s.replStats.Load().(func(string) *ReplStats); ok && fn != nil {
+		return fn(name)
+	}
+	return nil
+}
+
+// ReplStats is one collection's replication state as seen by its follower,
+// embedded in /stats. Lag in bytes is exact (the follower's journal is
+// byte-identical to the leader's, so it is a subtraction of offsets in the
+// same stream); lag in entries compares the leader's applied count against
+// the local one and is exact at quiescence; lag in seconds is 0 while
+// caught up and otherwise the time since the replica last was.
+type ReplStats struct {
+	Leader             string  `json:"leader"`
+	Bootstrapped       bool    `json:"bootstrapped"`
+	BootstrapSeconds   float64 `json:"bootstrap_seconds,omitempty"`
+	Generation         uint64  `json:"generation"`
+	AppliedOffsetBytes int64   `json:"applied_offset_bytes"`
+	LeaderSyncedBytes  int64   `json:"leader_synced_offset_bytes"`
+	LagBytes           int64   `json:"replica_lag_bytes"`
+	AppliedEntries     int     `json:"applied_entries"`
+	LagEntries         int     `json:"replica_lag_entries"`
+	LagSeconds         float64 `json:"replica_lag_seconds"`
+	StreamReconnects   int64   `json:"stream_reconnects"`
+}
+
+// Metrics exposes the store's metric surface so the follower can register
+// its own instruments on the shared registry.
+func (s *Store) Metrics() *Metrics { return s.metrics }
+
+// CollectionDir returns the directory the named collection lives (or will
+// live) in — where the follower's bootstrap writes the transferred
+// snapshot files before InstallReplica loads them.
+func (s *Store) CollectionDir(name string) (string, error) {
+	if s.dir == "" {
+		return "", ErrNoPersistence
+	}
+	if !ValidName(name) {
+		return "", ErrBadName
+	}
+	return filepath.Join(s.dir, name), nil
+}
+
+// ReplicaSnapshotPaths returns where a follower's bootstrap writes the
+// transferred generation files: the index and vocabulary snapshots, and the
+// meta.json commit record. The bootstrap must write meta last (via a tmp
+// file renamed into place) — exactly like a local snapshot, it is the
+// commit point that makes the generation loadable.
+func ReplicaSnapshotPaths(dir string, gen uint64) (index, vocab, metaFile string) {
+	return indexPath(dir, gen), vocabPath(dir, gen), metaPath(dir)
+}
+
+// InstallReplica loads the collection from its directory — exactly the
+// startup path: committed snapshot plus journal replay — and installs it,
+// replacing any previous incarnation. The follower calls it after writing
+// a transferred snapshot (bootstrap) and after any re-bootstrap.
+func (s *Store) InstallReplica(name string) (*Collection, error) {
+	dir, err := s.CollectionDir(name)
+	if err != nil {
+		return nil, err
+	}
+	s.opMu.Lock()
+	defer s.opMu.Unlock()
+	c, err := loadCollection(dir)
+	if err != nil {
+		return nil, err
+	}
+	s.mu.RLock()
+	old := s.cols[name]
+	cacheCap := s.cacheCap
+	s.mu.RUnlock()
+	if old != nil {
+		old.closeJournal()
+		s.metrics.removeCollection(name)
+	}
+	s.attach(c, cacheCap)
+	s.mu.Lock()
+	s.cols[name] = c
+	s.mu.Unlock()
+	return c, nil
+}
+
+// RollGeneration performs the follower's half of a generation handoff: the
+// leader snapshotted, and this replica — having applied the superseded
+// journal in full, so its state equals the snapshot's — takes its own
+// snapshot to advance to the same generation with an empty journal. target
+// must be exactly the next generation; anything else means the replica
+// missed a snapshot and must re-bootstrap.
+func (s *Store) RollGeneration(name string, target uint64) error {
+	s.opMu.Lock()
+	defer s.opMu.Unlock()
+	c, err := s.Get(name)
+	if err != nil {
+		return err
+	}
+	if c.dir == "" {
+		return ErrNoPersistence
+	}
+	c.commit.syncMu.Lock()
+	defer c.commit.syncMu.Unlock()
+	c.drainPending()
+	defer c.ioMu.Unlock()
+	c.mu.RLock()
+	cur := c.gen
+	c.mu.RUnlock()
+	if cur+1 != target {
+		return fmt.Errorf("%w: generation handoff to %d but replica is at %d", ErrReplDiverged, target, cur)
+	}
+	_, err = c.snapshot()
+	return err
+}
+
+// ReplPosition reports the replica's resume point: its generation, the
+// logical end of its journal (== its applied, durable stream offset — the
+// apply path fsyncs before applying, so the three coincide between calls)
+// and the applied entry count.
+func (c *Collection) ReplPosition() (gen uint64, applied int64, entries int) {
+	c.ioMu.Lock()
+	defer c.ioMu.Unlock()
+	if c.journal != nil {
+		applied = c.journal.Offset()
+	}
+	c.mu.RLock()
+	gen = c.gen
+	entries = c.journaled
+	c.mu.RUnlock()
+	return gen, applied, entries
+}
+
+// ApplyReplicated ingests one stream chunk: raw journal frames of the
+// given generation starting at byte offset from, which must equal the
+// local journal's end (the stream has no gaps). The chunk's intact frames
+// are appended verbatim, made durable, then applied in journal order; a
+// trailing partial frame — a chunk cut by a dropped connection — is
+// ignored, exactly like a torn tail at startup, and the follower resumes
+// from the returned offset. Returns the new local journal offset and the
+// number of entries applied.
+func (c *Collection) ApplyReplicated(gen uint64, from int64, frames []byte) (off int64, applied int, err error) {
+	c.commit.syncMu.Lock()
+	defer c.commit.syncMu.Unlock()
+	c.drainPending() // returns with ioMu held
+	defer c.ioMu.Unlock()
+	if c.closed || c.journal == nil {
+		return 0, 0, fmt.Errorf("%w: collection %q is closed", ErrStorage, c.name)
+	}
+	c.mu.RLock()
+	cur := c.gen
+	c.mu.RUnlock()
+	if gen != cur {
+		return 0, 0, fmt.Errorf("%w: chunk of generation %d, replica at %d", ErrReplDiverged, gen, cur)
+	}
+	off = c.journal.Offset()
+	if from != off {
+		return 0, 0, fmt.Errorf("%w: chunk starts at %d, replica journal ends at %d", ErrReplDiverged, from, off)
+	}
+	// Decode before touching the journal: only frames that parse intact are
+	// appended, so the local journal never needs the startup torn-tail
+	// truncation for stream-delivered bytes. Interior corruption in a chunk
+	// is a hard error — the leader only ships sealed frames, so it means the
+	// transfer (or the leader's disk) is mangling data.
+	sc := newFrameScanner(frames, off, c.name)
+	entries, err := sc.scanAll()
+	if err != nil {
+		return 0, 0, fmt.Errorf("%w: replicated chunk: %v", ErrStorage, err)
+	}
+	validLen := sc.Offset() - off
+	if validLen == 0 {
+		return off, 0, nil
+	}
+	valid := frames[:validLen]
+	// Durability strictly before apply, mirroring the leader's commit order:
+	// append, flush, fsync, and only then mutate the engine. On failure the
+	// journal rolls back to its durable mark (which also heals a poisoned
+	// buffered writer); if even that fails the journal is closed and the
+	// follower re-bootstraps the collection.
+	err = c.journal.appendFrames(valid)
+	if err == nil {
+		err = c.journal.Flush()
+	}
+	if err == nil {
+		err = c.journal.SyncFile()
+	}
+	if err != nil {
+		c.metrics.incRollback()
+		if rbErr := c.journal.Rollback(c.journal.SyncedOffset()); rbErr != nil {
+			c.journal.Close()
+			c.journal = nil
+		}
+		return off, 0, fmt.Errorf("%w: replica journal: %v", ErrStorage, err)
+	}
+	c.metrics.addWAL(len(valid), len(entries))
+	// Apply in journal order through the leader's own batch path, one batch
+	// per request-id run — the same partitioning startup replay rebuilds the
+	// dedup window from, so ids, request spans and the query generation all
+	// land exactly as they did on the leader.
+	forEachRidRun(entries, func(i, j int, rid string) {
+		batch := make([][]string, j-i)
+		for k := i; k < j; k++ {
+			batch[k-i] = entries[k].Tokens
+		}
+		c.applyBatch(&commitBatch{tokens: batch, rid: rid})
+	})
+	c.walChangedLocked() // this node may itself be streamed from (chained replicas)
+	return c.journal.Offset(), len(entries), nil
+}

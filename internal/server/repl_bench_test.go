@@ -1,0 +1,99 @@
+package server
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"gbkmv"
+)
+
+// BenchmarkReplApply measures follower replay throughput: how fast a
+// replica ingests a leader's journal through ApplyReplicated — frame
+// decode, durable append (one flush + fsync per chunk) and engine apply,
+// the whole streamed-apply path minus HTTP. Each iteration bootstraps a
+// fresh replica from the leader's snapshot files and applies the full
+// pre-read frame stream as one chunk; bytes/s is journal bytes ingested.
+func BenchmarkReplApply(b *testing.B) {
+	b.Run("entries5000", func(b *testing.B) { runReplApplyBench(b, 5000) })
+}
+
+func runReplApplyBench(b *testing.B, entries int) {
+	leaderDir := b.TempDir()
+	leaderStore, err := NewStore(leaderDir, func(string, ...any) {})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Cleanup(func() { leaderStore.Close() })
+	voc := gbkmv.NewVocabulary()
+	recs := []gbkmv.Record{voc.Record([]string{"seed", "one"}), voc.Record([]string{"seed", "two"})}
+	eng, err := gbkmv.NewEngine("gbkmv", recs, gbkmv.EngineOptions{BudgetUnits: 64 << 20})
+	if err != nil {
+		b.Fatal(err)
+	}
+	leader, err := leaderStore.Create("bench", voc, eng)
+	if err != nil {
+		b.Fatal(err)
+	}
+	workload := benchInsertWorkload(b, 1, entries)[0]
+	const batch = 50
+	for i := 0; i < len(workload); i += batch {
+		end := min(i+batch, len(workload))
+		if _, err := leader.Insert(workload[i:end], ""); err != nil {
+			b.Fatal(err)
+		}
+	}
+	// Every insert above was acknowledged, so the journal file is fully
+	// fsynced: its bytes are exactly what the wal stream would ship.
+	frames, err := os.ReadFile(filepath.Join(leaderDir, "bench", "journal-1.log"))
+	if err != nil {
+		b.Fatal(err)
+	}
+
+	var replicas []*Store
+	b.Cleanup(func() {
+		for _, s := range replicas {
+			s.Close()
+		}
+	})
+	b.SetBytes(int64(len(frames)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		replicaStore, err := NewStore(b.TempDir(), func(string, ...any) {})
+		if err != nil {
+			b.Fatal(err)
+		}
+		replicas = append(replicas, replicaStore)
+		dir, err := replicaStore.CollectionDir("bench")
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := os.MkdirAll(dir, 0o755); err != nil {
+			b.Fatal(err)
+		}
+		srcIndex, srcVocab, srcMeta := ReplicaSnapshotPaths(filepath.Join(leaderDir, "bench"), 1)
+		dstIndex, dstVocab, dstMeta := ReplicaSnapshotPaths(dir, 1)
+		for _, cp := range [][2]string{{srcIndex, dstIndex}, {srcVocab, dstVocab}, {srcMeta, dstMeta}} {
+			data, err := os.ReadFile(cp[0])
+			if err != nil {
+				b.Fatal(err)
+			}
+			if err := os.WriteFile(cp[1], data, 0o644); err != nil {
+				b.Fatal(err)
+			}
+		}
+		replica, err := replicaStore.InstallReplica("bench")
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.StartTimer()
+		off, applied, err := replica.ApplyReplicated(1, 0, frames)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if off != int64(len(frames)) || applied != entries {
+			b.Fatalf("applied %d entries to offset %d, want %d to %d", applied, off, entries, len(frames))
+		}
+	}
+}

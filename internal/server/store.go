@@ -57,6 +57,14 @@ type Store struct {
 	ready       atomic.Bool  // set once startup loading finished (readiness)
 	slowQueryNs atomic.Int64 // slow-query log threshold; 0 disables
 
+	// Replica role (see repl_apply.go): leaderURL non-empty fences every
+	// write endpoint behind a redirect to the leader; readyCheck, when set,
+	// extends /readyz with the follower's bootstrap/lag gate; replStats,
+	// when set, annotates /stats with per-collection replication state.
+	leaderURL atomic.Value // string
+	readyCheck atomic.Value // func() (bool, string)
+	replStats  atomic.Value // func(name string) *ReplStats
+
 	opMu sync.Mutex // serializes build/delete/snapshot/close (all disk mutation)
 	mu   sync.RWMutex
 	cols map[string]*Collection
@@ -363,18 +371,23 @@ func (s *Store) Snapshot(name string) (*Collection, error) {
 }
 
 // Close snapshots every collection with unsnapshotted inserts and closes all
-// journals. Used on graceful shutdown.
+// journals. Used on graceful shutdown. Followers never snapshot here: a
+// replica's generation number must track the leader's, and advancing it
+// unilaterally would force a full re-bootstrap on restart — a follower
+// restart replays its local journal instead, then resumes the stream from
+// its durable offset.
 func (s *Store) Close() error {
 	s.opMu.Lock()
 	defer s.opMu.Unlock()
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	follower := s.FollowerLeader() != ""
 	var first error
 	for _, c := range s.cols {
 		c.commit.syncMu.Lock()
 		c.drainPending() // returns with ioMu held
 		c.mu.RLock()
-		needsSnapshot := c.dir != "" && c.journaled > 0
+		needsSnapshot := !follower && c.dir != "" && c.journaled > 0
 		c.mu.RUnlock()
 		if needsSnapshot {
 			if _, err := c.snapshot(); err != nil && first == nil {
@@ -388,6 +401,7 @@ func (s *Store) Close() error {
 			}
 			c.journal = nil
 		}
+		c.walChangedLocked() // wake long-polled wal streams so they observe the close
 		c.ioMu.Unlock()
 		c.commit.syncMu.Unlock()
 	}
@@ -418,6 +432,17 @@ type Collection struct {
 	closed   bool           // set when the collection is replaced, deleted or shut down
 	requests *requestLog    // recent insert request ids, for retry rejection
 	commit   commitState    // group-commit machinery; see Insert
+
+	// Replication stream state, guarded by ioMu (see repl_leader.go).
+	// walNotify is closed whenever the durable WAL frontier moves — a commit
+	// group fsyncs, a snapshot swaps generations, the journal closes — waking
+	// long-polled wal streams. prevGen/prevGenFinal record the previous
+	// generation and its final synced offset across a snapshot, so a follower
+	// that fully applied the old journal can hand off to the new generation
+	// without re-bootstrapping.
+	walNotify    chan struct{}
+	prevGen      uint64
+	prevGenFinal int64
 
 	mu        sync.RWMutex
 	voc       *gbkmv.Vocabulary
@@ -1127,6 +1152,10 @@ func (c *Collection) commitGroup(g *commitGroup, holdIoMu bool) {
 			c.applyBatch(b)
 		}
 	}
+	if err == nil {
+		// The durable frontier advanced: wake long-polled WAL streams.
+		c.walChangedLocked()
+	}
 	c.clearInflightLocked(g)
 	close(g.done)
 }
@@ -1254,6 +1283,14 @@ type CollStats struct {
 	// QueryCache reports the prepared-query cache counters; nil (omitted)
 	// when the cache is disabled.
 	QueryCache *QueryCacheStats `json:"query_cache,omitempty"`
+	// Role and Replication report the node's replication posture: Role is
+	// "leader" (accepting writes; omitted on standalone memory-only stores)
+	// or "follower", and Replication carries the follower's per-collection
+	// stream state (nil on leaders). Filled by the stats handler, not by
+	// Stats itself — the state lives with the store/follower, not the
+	// collection.
+	Role        string     `json:"role,omitempty"`
+	Replication *ReplStats `json:"replication,omitempty"`
 }
 
 // Stats returns the collection's current statistics.
@@ -1318,6 +1355,7 @@ func (c *Collection) closeJournal() {
 		c.journal.Close()
 		c.journal = nil
 	}
+	c.walChangedLocked() // wake streams so they observe the close
 }
 
 // reopenJournal resumes appending to the current generation's journal after
@@ -1481,12 +1519,21 @@ func (c *Collection) snapshot() (committed bool, err error) {
 	c.mu.Lock()
 	oldGen := c.gen
 	if c.journal != nil {
+		// Record the superseded generation's final durable offset: a
+		// follower that streamed the old journal to exactly here holds the
+		// snapshot's state and may hand off to the new generation at offset
+		// 0 instead of re-bootstrapping. (Caller quiesced inserts, so synced
+		// == the journal's full content.) Guarded by ioMu, which the caller
+		// holds — or the collection is not yet published (Create).
+		c.prevGen = oldGen
+		c.prevGenFinal = c.journal.SyncedOffset()
 		c.journal.Close()
 	}
 	c.journal = jw
 	c.gen = gen
 	c.journaled = 0
 	c.mu.Unlock()
+	c.walChangedLocked()
 	// Make the commit durable before deleting the previous generation: a
 	// power loss must never persist the removals while losing the rename.
 	// On fsync failure, keep the old files and report the error.
@@ -1571,17 +1618,11 @@ func loadCollection(dir string) (*Collection, error) {
 	for _, r := range m.Requests {
 		requests.add(r.ID, r.First, r.Count)
 	}
-	for i := 0; i < len(entries); {
-		rid := entries[i].RequestID
-		j := i + 1
-		for j < len(entries) && entries[j].RequestID == rid {
-			j++
-		}
+	forEachRidRun(entries, func(i, j int, rid string) {
 		if rid != "" {
 			requests.add(rid, base+i, j-i)
 		}
-		i = j
-	}
+	})
 	jw, err := openJournalWriter(journalPath(dir, m.Generation), validLen)
 	if err != nil {
 		return nil, err
