@@ -67,10 +67,18 @@ func main() {
 		slowQuery   = flag.Duration("slow-query", 0, "log search requests taking at least this long, with their trace (0 disables)")
 		debugAddr   = flag.String("debug-addr", "", "listen address for net/http/pprof profiling endpoints; empty disables them")
 
+		headerTimeout  = flag.Duration("read-header-timeout", 10*time.Second, "HTTP read-header timeout (slowloris protection)")
+		idleTimeout    = flag.Duration("idle-timeout", 2*time.Minute, "HTTP keep-alive idle timeout")
+		requestTimeout = flag.Duration("request-timeout", 0, "per-request handler deadline; expired requests shed with 503 (0 disables; replication streams are exempt)")
+		writeTimeout   = flag.Duration("write-timeout", 0, "per-request response write deadline (0 disables; replication streams are exempt)")
+		maxInserts     = flag.Int("max-inflight-inserts", 0, "bound on concurrent insert requests; excess sheds with 503 + Retry-After (0 = unbounded)")
+
 		follow       = flag.String("follow", "", "run as a read replica of the leader at this base URL (e.g. http://leader:7878)")
 		replPoll     = flag.Duration("repl-poll", 3*time.Second, "replica: leader collection-listing poll interval")
 		replWait     = flag.Duration("repl-wait", 10*time.Second, "replica: long-poll duration per WAL stream request")
 		replReadyLag = flag.Int64("repl-ready-lag", 1<<20, "replica: /readyz reports ready only under this many bytes of replica lag")
+		autoPromote  = flag.Bool("promote-on-leader-loss", false, "replica: promote this node to leader when the leader is silent past -leader-loss-window (enable on at most one replica)")
+		lossWindow   = flag.Duration("leader-loss-window", 15*time.Second, "replica: leader silence that triggers automatic promotion (floored to twice -repl-poll)")
 	)
 	flag.Parse()
 
@@ -92,6 +100,9 @@ func main() {
 		}
 	}
 	store.SetSlowQueryThreshold(*slowQuery)
+	store.SetRequestTimeout(*requestTimeout)
+	store.SetResponseWriteTimeout(*writeTimeout)
+	store.SetMaxInflightInserts(*maxInserts)
 
 	// Follower mode: New fences writes and gates /readyz immediately (before
 	// the listener opens, so a load balancer never sees a ready cold
@@ -99,11 +110,13 @@ func main() {
 	var follower *repl.Follower
 	if *follow != "" {
 		f, err := repl.New(repl.Options{
-			Leader:        strings.TrimRight(*follow, "/"),
-			Store:         store,
-			PollInterval:  *replPoll,
-			Wait:          *replWait,
-			ReadyLagBytes: *replReadyLag,
+			Leader:              strings.TrimRight(*follow, "/"),
+			Store:               store,
+			PollInterval:        *replPoll,
+			Wait:                *replWait,
+			ReadyLagBytes:       *replReadyLag,
+			PromoteOnLeaderLoss: *autoPromote,
+			LeaderLossWindow:    *lossWindow,
 		})
 		if err != nil {
 			log.Fatalf("gbkmvd: -follow: %v", err)
@@ -123,18 +136,29 @@ func main() {
 		dmux.HandleFunc("/debug/pprof/profile", pprof.Profile)
 		dmux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
 		dmux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+		dsrv := &http.Server{
+			Addr:              *debugAddr,
+			Handler:           dmux,
+			ReadHeaderTimeout: *headerTimeout,
+			IdleTimeout:       *idleTimeout,
+		}
 		go func() {
 			log.Printf("gbkmvd: pprof listening on %s", *debugAddr)
-			if err := http.ListenAndServe(*debugAddr, dmux); err != nil {
+			if err := dsrv.ListenAndServe(); err != nil {
 				log.Printf("gbkmvd: pprof server: %v", err)
 			}
 		}()
 	}
 
+	// No server-wide WriteTimeout: it would sever WAL long-polls and large
+	// snapshot transfers. -write-timeout applies per request through the
+	// store's middleware instead, which exempts replication streams.
 	srv := &http.Server{
-		Addr:        *addr,
-		Handler:     server.Handler(store),
-		ReadTimeout: *readTimeout,
+		Addr:              *addr,
+		Handler:           server.Handler(store),
+		ReadTimeout:       *readTimeout,
+		ReadHeaderTimeout: *headerTimeout,
+		IdleTimeout:       *idleTimeout,
 	}
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)

@@ -74,8 +74,25 @@ func main() {
 		batchSize  = flag.Int("batch", 16, "queries per batch search")
 		threshold  = flag.Float64("threshold", 0.5, "containment threshold for searches")
 		seed       = flag.Int64("seed", 1, "workload RNG seed")
+
+		failoverDrill = flag.Bool("failover-drill", false, "run the in-process failover drill instead of the networked workload (kills leaders, measures promotion time and read availability)")
+		drillRounds   = flag.Int("drill-rounds", 3, "failover drill: rounds (each kills a leader and promotes its follower)")
+		promoteBound  = flag.Duration("promote-bound", 30*time.Second, "failover drill: fail if any promotion takes longer than this")
+		minReadAvail  = flag.Float64("min-read-avail", 0.99, "failover drill: fail if read availability lands under this fraction")
 	)
 	flag.Parse()
+	if *failoverDrill {
+		// The drill builds its own in-process nodes; -file is optional (a
+		// synthetic corpus is generated without it).
+		var records [][]string
+		if *file != "" {
+			var err error
+			if records, err = loadRecords(*file); err != nil {
+				log.Fatalf("soak: %v", err)
+			}
+		}
+		os.Exit(runFailoverDrill(records, *coll, *drillRounds, *duration, *promoteBound, *minReadAvail, *threshold))
+	}
 	if *file == "" {
 		flag.Usage()
 		os.Exit(2)

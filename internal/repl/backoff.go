@@ -1,0 +1,45 @@
+package repl
+
+import (
+	"math/rand/v2"
+	"time"
+)
+
+// backoff produces full-jitter capped exponential delays (the AWS
+// architecture-blog scheme): attempt n draws uniformly from
+// [0, min(cap, base·2ⁿ)). Full jitter beats plain exponential backoff for a
+// fleet of replicas reconnecting to a just-restarted leader — deterministic
+// delays synchronize the herd, so every retry wave arrives at once; uniform
+// draws spread the wave across the whole window.
+type backoff struct {
+	base time.Duration // ceiling of the first attempt
+	cap  time.Duration // ceiling growth stops here
+
+	attempt int
+	last    time.Duration // most recent delay handed out (surfaced in /stats)
+}
+
+// next returns the delay to sleep before the upcoming retry and advances the
+// attempt counter. A floor of base/8 keeps pathological draws from turning
+// the loop into a hot spin while preserving most of the jitter range.
+func (b *backoff) next() time.Duration {
+	ceil := b.cap
+	if shifted := b.base << uint(b.attempt); shifted > 0 && shifted < ceil {
+		ceil = shifted
+	}
+	if b.attempt < 63 { // past that the shift has long saturated the cap
+		b.attempt++
+	}
+	d := time.Duration(rand.Int64N(int64(ceil)))
+	if floor := b.base / 8; d < floor {
+		d = floor
+	}
+	b.last = d
+	return d
+}
+
+// reset returns the schedule to the first attempt after a success.
+func (b *backoff) reset() {
+	b.attempt = 0
+	b.last = 0
+}

@@ -1,0 +1,207 @@
+// Package faultnet is a fault-injecting http.RoundTripper for replication
+// chaos tests: it wraps a real transport and, on matching requests, injects
+// the failure modes a replication stream meets in production — dropped
+// connections, partitions, added latency, responses cut mid-frame,
+// duplicated (replayed) responses, and slow reads. Faults are armed from
+// the test goroutine and consumed by in-flight requests; every method is
+// safe for concurrent use.
+//
+// The injected faults are shaped like real ones: a Drop returns a transport
+// error (the request may or may not have reached the server — exactly the
+// ambiguity a crashed connection leaves); CutNext truncates the body AND
+// fixes Content-Length, modeling an intermediary that forwarded a partial
+// upstream read as a complete response (the client sees a well-formed but
+// torn chunk); DuplicateNext replays the previously recorded matching
+// response verbatim, modeling a confused retrying proxy or cache.
+package faultnet
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"net/http"
+	"strconv"
+	"sync"
+	"time"
+)
+
+// ErrInjectedDrop is the transport error injected by Drop and Partition.
+var ErrInjectedDrop = errors.New("faultnet: injected connection drop")
+
+// Transport wraps Base with injectable faults. The zero value (with a nil
+// Base) uses http.DefaultTransport and injects nothing until armed.
+type Transport struct {
+	// Base performs the real round trips; nil means http.DefaultTransport.
+	Base http.RoundTripper
+	// Match selects the requests faults apply to; nil matches every request.
+	// Non-matching requests pass straight through.
+	Match func(*http.Request) bool
+
+	mu        sync.Mutex
+	dropNext  int           // fail this many matching requests
+	partition bool          // fail all matching requests until Heal
+	delay     time.Duration // added before every matching request
+	cutNext   int           // truncate the next n matching response bodies
+	dupNext   int           // replay the recorded response for the next n requests
+	slowBps   int           // throttle matching response bodies to n bytes/sec
+	recorded  *recording    // last matching response, for DuplicateNext
+
+	drops int64 // total requests failed by drop/partition
+}
+
+// recording is a fully buffered response for replay.
+type recording struct {
+	status int
+	header http.Header
+	body   []byte
+}
+
+// Drop arms n one-shot connection drops for matching requests.
+func (t *Transport) Drop(n int) { t.mu.Lock(); t.dropNext = n; t.mu.Unlock() }
+
+// Partition fails every matching request until Heal — a network partition
+// between this client and the server.
+func (t *Transport) Partition() { t.mu.Lock(); t.partition = true; t.mu.Unlock() }
+
+// Heal ends a Partition.
+func (t *Transport) Heal() { t.mu.Lock(); t.partition = false; t.mu.Unlock() }
+
+// Delay adds d of latency before every matching request (0 clears).
+func (t *Transport) Delay(d time.Duration) { t.mu.Lock(); t.delay = d; t.mu.Unlock() }
+
+// CutNext arms n mid-body cuts: the response body is truncated at roughly
+// half its length with Content-Length fixed up to match, so the client
+// reads a well-formed response whose payload (almost always) ends in a torn
+// frame.
+func (t *Transport) CutNext(n int) { t.mu.Lock(); t.cutNext = n; t.mu.Unlock() }
+
+// DuplicateNext arms n response replays: each affected request is answered
+// with a verbatim copy of the previously recorded matching response instead
+// of reaching the server. No-ops (passes through) until one matching
+// response with a body has been observed.
+func (t *Transport) DuplicateNext(n int) { t.mu.Lock(); t.dupNext = n; t.mu.Unlock() }
+
+// SlowRead throttles matching response bodies to bps bytes per second
+// (0 clears).
+func (t *Transport) SlowRead(bps int) { t.mu.Lock(); t.slowBps = bps; t.mu.Unlock() }
+
+// Drops reports how many matching requests drop/partition faults failed.
+func (t *Transport) Drops() int64 {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.drops
+}
+
+func (t *Transport) base() http.RoundTripper {
+	if t.Base != nil {
+		return t.Base
+	}
+	return http.DefaultTransport
+}
+
+// RoundTrip implements http.RoundTripper.
+func (t *Transport) RoundTrip(req *http.Request) (*http.Response, error) {
+	if t.Match != nil && !t.Match(req) {
+		return t.base().RoundTrip(req)
+	}
+	t.mu.Lock()
+	delay := t.delay
+	if t.partition || t.dropNext > 0 {
+		if t.dropNext > 0 {
+			t.dropNext--
+		}
+		t.drops++
+		t.mu.Unlock()
+		return nil, ErrInjectedDrop
+	}
+	if t.dupNext > 0 && t.recorded != nil {
+		t.dupNext--
+		rec := t.recorded
+		t.mu.Unlock()
+		return rec.response(req), nil
+	}
+	cut := t.cutNext > 0
+	if cut {
+		t.cutNext--
+	}
+	slow := t.slowBps
+	t.mu.Unlock()
+
+	if delay > 0 {
+		select {
+		case <-time.After(delay):
+		case <-req.Context().Done():
+			return nil, req.Context().Err()
+		}
+	}
+	resp, err := t.base().RoundTrip(req)
+	if err != nil {
+		return nil, err
+	}
+	// Buffer the body so it can be recorded for replay and/or truncated.
+	// Chunks are bounded (the wal endpoint caps them), so buffering is fine
+	// for a test transport.
+	body, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil {
+		return nil, err
+	}
+	if cut && len(body) > 1 {
+		body = body[:len(body)/2+1]
+	}
+	rec := &recording{status: resp.StatusCode, header: resp.Header.Clone(), body: body}
+	t.mu.Lock()
+	if len(body) > 0 && !cut {
+		t.recorded = rec
+	}
+	t.mu.Unlock()
+	resp.Header = rec.header
+	if cut {
+		resp.Header = resp.Header.Clone()
+		resp.Header.Set("Content-Length", strconv.Itoa(len(body)))
+	}
+	resp.ContentLength = int64(len(body))
+	var r io.Reader = bytes.NewReader(body)
+	if slow > 0 {
+		r = &throttledReader{r: r, bps: slow}
+	}
+	resp.Body = io.NopCloser(r)
+	return resp, nil
+}
+
+// response materializes a fresh http.Response from the recording.
+func (rec *recording) response(req *http.Request) *http.Response {
+	return &http.Response{
+		Status:        http.StatusText(rec.status),
+		StatusCode:    rec.status,
+		Proto:         "HTTP/1.1",
+		ProtoMajor:    1,
+		ProtoMinor:    1,
+		Header:        rec.header.Clone(),
+		Body:          io.NopCloser(bytes.NewReader(rec.body)),
+		ContentLength: int64(len(rec.body)),
+		Request:       req,
+	}
+}
+
+// throttledReader limits reads to bps bytes per second in small installments
+// — a slow or congested link.
+type throttledReader struct {
+	r   io.Reader
+	bps int
+}
+
+func (tr *throttledReader) Read(p []byte) (int, error) {
+	chunk := tr.bps / 10 // ~10 installments per second
+	if chunk < 1 {
+		chunk = 1
+	}
+	if len(p) > chunk {
+		p = p[:chunk]
+	}
+	n, err := tr.r.Read(p)
+	if n > 0 {
+		time.Sleep(time.Duration(float64(n) / float64(tr.bps) * float64(time.Second)))
+	}
+	return n, err
+}

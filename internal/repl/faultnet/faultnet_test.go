@@ -1,0 +1,167 @@
+package faultnet
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// newServer returns a test server whose responses are "resp-<n>" with the
+// request counter echoed in a header, plus a client going through ft.
+func newServer(t *testing.T, ft *Transport) (*httptest.Server, *http.Client, *atomic.Int64) {
+	t.Helper()
+	var hits atomic.Int64
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		n := hits.Add(1)
+		w.Header().Set("X-Serial", fmt.Sprint(n))
+		fmt.Fprintf(w, "resp-%d", n)
+	}))
+	t.Cleanup(ts.Close)
+	return ts, &http.Client{Transport: ft}, &hits
+}
+
+func get(t *testing.T, c *http.Client, url string) (string, *http.Response, error) {
+	t.Helper()
+	resp, err := c.Get(url)
+	if err != nil {
+		return "", nil, err
+	}
+	defer resp.Body.Close()
+	b, err := io.ReadAll(resp.Body)
+	return string(b), resp, err
+}
+
+func TestDropAndPartition(t *testing.T) {
+	ft := &Transport{}
+	ts, c, hits := newServer(t, ft)
+
+	ft.Drop(2)
+	for i := 0; i < 2; i++ {
+		if _, _, err := get(t, c, ts.URL); !errors.Is(err, ErrInjectedDrop) {
+			t.Fatalf("drop %d: err = %v, want ErrInjectedDrop", i, err)
+		}
+	}
+	if body, _, err := get(t, c, ts.URL); err != nil || body != "resp-1" {
+		t.Fatalf("after drops: body=%q err=%v", body, err)
+	}
+	if hits.Load() != 1 {
+		t.Fatalf("server saw %d requests, want 1 (drops must not reach it)", hits.Load())
+	}
+
+	ft.Partition()
+	for i := 0; i < 3; i++ {
+		if _, _, err := get(t, c, ts.URL); !errors.Is(err, ErrInjectedDrop) {
+			t.Fatalf("partitioned request %d got err %v", i, err)
+		}
+	}
+	ft.Heal()
+	if body, _, err := get(t, c, ts.URL); err != nil || body != "resp-2" {
+		t.Fatalf("after heal: body=%q err=%v", body, err)
+	}
+	if ft.Drops() != 5 {
+		t.Fatalf("Drops() = %d, want 5", ft.Drops())
+	}
+}
+
+func TestDuplicateReplaysPreviousResponse(t *testing.T) {
+	ft := &Transport{}
+	ts, c, hits := newServer(t, ft)
+
+	// Nothing recorded yet: duplicate passes through.
+	ft.DuplicateNext(1)
+	if body, _, _ := get(t, c, ts.URL); body != "resp-1" {
+		t.Fatalf("pass-through body = %q", body)
+	}
+	// Now armed with resp-1 recorded: the next request is answered from the
+	// recording without touching the server.
+	ft.DuplicateNext(1)
+	body, resp, err := get(t, c, ts.URL)
+	if err != nil || body != "resp-1" {
+		t.Fatalf("replayed body = %q, err=%v, want resp-1", body, err)
+	}
+	if resp.Header.Get("X-Serial") != "1" {
+		t.Fatalf("replayed header X-Serial = %q, want 1", resp.Header.Get("X-Serial"))
+	}
+	if hits.Load() != 1 {
+		t.Fatalf("server saw %d requests, want 1", hits.Load())
+	}
+	// Fault consumed: back to live responses.
+	if body, _, _ := get(t, c, ts.URL); body != "resp-2" {
+		t.Fatalf("post-replay body = %q, want resp-2", body)
+	}
+}
+
+func TestCutTruncatesBody(t *testing.T) {
+	ft := &Transport{}
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		io.WriteString(w, strings.Repeat("x", 1000))
+	}))
+	defer ts.Close()
+	c := &http.Client{Transport: ft}
+
+	ft.CutNext(1)
+	body, resp, err := get(t, c, ts.URL)
+	if err != nil {
+		t.Fatalf("cut response errored: %v (the cut must look like a complete short response)", err)
+	}
+	if len(body) >= 1000 || len(body) == 0 {
+		t.Fatalf("cut body is %d bytes, want 0 < n < 1000", len(body))
+	}
+	if resp.ContentLength != int64(len(body)) {
+		t.Fatalf("ContentLength %d != body %d", resp.ContentLength, len(body))
+	}
+	if body2, _, _ := get(t, c, ts.URL); len(body2) != 1000 {
+		t.Fatalf("second response is %d bytes, want 1000 (fault is one-shot)", len(body2))
+	}
+}
+
+func TestMatchScopesFaults(t *testing.T) {
+	ft := &Transport{Match: func(r *http.Request) bool { return strings.Contains(r.URL.Path, "/wal") }}
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		io.WriteString(w, "ok")
+	}))
+	defer ts.Close()
+	c := &http.Client{Transport: ft}
+
+	ft.Partition()
+	if _, _, err := get(t, c, ts.URL+"/stats"); err != nil {
+		t.Fatalf("non-matching request failed: %v", err)
+	}
+	if _, _, err := get(t, c, ts.URL+"/collections/a/wal"); !errors.Is(err, ErrInjectedDrop) {
+		t.Fatalf("matching request err = %v, want ErrInjectedDrop", err)
+	}
+}
+
+func TestSlowReadAndDelay(t *testing.T) {
+	ft := &Transport{}
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		io.WriteString(w, strings.Repeat("y", 200))
+	}))
+	defer ts.Close()
+	c := &http.Client{Transport: ft}
+
+	ft.SlowRead(1000) // 200 bytes at 1000 B/s ≈ 200ms
+	start := time.Now()
+	if body, _, err := get(t, c, ts.URL); err != nil || len(body) != 200 {
+		t.Fatalf("slow read: %d bytes, err=%v", len(body), err)
+	}
+	if d := time.Since(start); d < 100*time.Millisecond {
+		t.Fatalf("slow read finished in %v, want >= 100ms of throttle", d)
+	}
+	ft.SlowRead(0)
+
+	ft.Delay(120 * time.Millisecond)
+	start = time.Now()
+	if _, _, err := get(t, c, ts.URL); err != nil {
+		t.Fatal(err)
+	}
+	if d := time.Since(start); d < 100*time.Millisecond {
+		t.Fatalf("delayed request finished in %v, want >= 100ms", d)
+	}
+}

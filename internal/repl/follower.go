@@ -57,6 +57,16 @@ type Options struct {
 	// Client is the HTTP client used against the leader; defaults to a
 	// dedicated client (requests carry per-call timeouts derived from Wait).
 	Client *http.Client
+	// PromoteOnLeaderLoss enables automatic failover: when no request to
+	// the leader has succeeded for LeaderLossWindow, the follower promotes
+	// itself to leader (see Promote). Exactly one follower per deployment
+	// should enable this — two auto-promoting followers of the same leader
+	// would both take over.
+	PromoteOnLeaderLoss bool
+	// LeaderLossWindow is the silence that triggers automatic promotion.
+	// Default 15s; floored to twice the poll interval (the listing poll is
+	// the heartbeat that refreshes the contact clock).
+	LeaderLossWindow time.Duration
 }
 
 // Follower replicates a leader's collections into a local store. Create
@@ -76,6 +86,16 @@ type Follower struct {
 
 	bootstraps atomic.Int64 // total bootstraps performed (restarts resume instead)
 
+	// Promotion state (see promote.go). lastContact is the UnixNano stamp of
+	// the last successful exchange with the leader — the leader-loss clock.
+	promoting   atomic.Bool
+	promoted    atomic.Bool
+	closing     atomic.Bool
+	lastContact atomic.Int64
+	watcherStop chan struct{} // closed by Close; bounds the watcher's life
+	watcherDone chan struct{} // closed when the watcher exits
+	stopOnce    sync.Once
+
 	mLagBytes   *obs.GaugeVec
 	mLagEntries *obs.GaugeVec
 	mLagSecs    *obs.GaugeVec
@@ -83,6 +103,9 @@ type Follower struct {
 	mApplied    *obs.CounterVec
 	mAppliedB   *obs.CounterVec
 	mBootstrap  *obs.Histogram
+	mPromotions *obs.Counter
+	mPromoSecs  *obs.Histogram
+	mChainDepth *obs.Gauge
 }
 
 // replica is one collection's replication state machine.
@@ -91,15 +114,22 @@ type replica struct {
 	name string
 	stop context.CancelFunc
 
-	mu            sync.Mutex
-	coll          *server.Collection // nil until first install
-	bootstrapped  bool
-	bootstrapSecs float64
-	leaderSynced  int64     // leader's durable frontier, from the last response headers
-	leaderGen     uint64    // generation that frontier belongs to
-	leaderEntries int       // leader's applied entry count in its current journal
-	behindSince   time.Time // zero while caught up
-	reconnects    int64
+	// bo is the full-jitter reconnect backoff; touched only by the run
+	// goroutine. The surfaced failure count and current delay live under mu
+	// for the /stats reader.
+	bo backoff
+
+	mu             sync.Mutex
+	coll           *server.Collection // nil until first install
+	bootstrapped   bool
+	bootstrapSecs  float64
+	leaderSynced   int64     // leader's durable frontier, from the last response headers
+	leaderGen      uint64    // generation that frontier belongs to
+	leaderEntries  int       // leader's applied entry count in its current journal
+	behindSince    time.Time // zero while caught up
+	reconnects     int64
+	consecFailures int64         // erroring sessions since the last healthy exchange
+	curBackoff     time.Duration // delay of the current/most recent reconnect sleep
 }
 
 // New wires a follower to its store: write fencing, the /readyz gate, the
@@ -124,12 +154,22 @@ func New(opt Options) (*Follower, error) {
 	if opt.ReadyLagBytes <= 0 {
 		opt.ReadyLagBytes = 1 << 20
 	}
+	if opt.LeaderLossWindow <= 0 {
+		opt.LeaderLossWindow = 15 * time.Second
+	}
+	if floor := 2 * opt.PollInterval; opt.LeaderLossWindow < floor {
+		// The listing poll is the heartbeat; a window shorter than two polls
+		// would declare a perfectly healthy leader lost between beats.
+		opt.LeaderLossWindow = floor
+	}
 	f := &Follower{
-		opt:      opt,
-		store:    opt.Store,
-		client:   opt.Client,
-		logf:     opt.Logf,
-		replicas: make(map[string]*replica),
+		opt:         opt,
+		store:       opt.Store,
+		client:      opt.Client,
+		logf:        opt.Logf,
+		replicas:    make(map[string]*replica),
+		watcherStop: make(chan struct{}),
+		watcherDone: make(chan struct{}),
 	}
 	if f.client == nil {
 		f.client = &http.Client{}
@@ -153,29 +193,52 @@ func New(opt Options) (*Follower, error) {
 	f.mBootstrap = reg.Histogram("gbkmv_repl_bootstrap_duration_seconds",
 		"Duration of collection bootstraps (snapshot transfer + load).",
 		[]float64{0.05, 0.1, 0.25, 0.5, 1, 2.5, 5, 10, 30, 60})
+	f.mPromotions = reg.Counter("gbkmv_repl_promotions_total",
+		"Times this node promoted itself from follower to leader.")
+	f.mPromoSecs = reg.Histogram("gbkmv_repl_promotion_seconds",
+		"Duration of follower-to-leader promotions (quiesce + generation rolls).",
+		[]float64{0.01, 0.025, 0.05, 0.1, 0.25, 0.5, 1, 2.5, 5, 10, 30})
+	f.mChainDepth = reg.Gauge("gbkmv_repl_chain_depth",
+		"This node's distance from the true leader (0 after promotion, 1 following the leader, 2 chained, ...).")
 	reg.OnScrape(f.refreshLagGauges)
+	f.lastContact.Store(time.Now().UnixNano())
 	f.store.SetFollower(opt.Leader)
+	f.store.SetChainDepth(1) // provisional; refined from upstream headers
 	f.store.SetReadyCheck(f.readyCheck)
 	f.store.SetReplStatsProvider(f.statsFor)
+	f.store.SetPromoteHandler(f.Promote)
 	return f, nil
 }
 
 // Start launches the replication loops. They run until ctx is cancelled or
-// Close is called.
+// Close is called. With PromoteOnLeaderLoss it also starts the leader-loss
+// watcher (stopped only by Close or a completed promotion — see promote.go).
 func (f *Follower) Start(ctx context.Context) {
 	ctx, f.cancel = context.WithCancel(ctx)
 	f.wg.Add(1)
 	go f.manage(ctx)
+	if f.opt.PromoteOnLeaderLoss {
+		f.lastContact.Store(time.Now().UnixNano())
+		go f.watchLeader()
+	} else {
+		close(f.watcherDone)
+	}
 }
 
-// Close stops every replication loop and waits for them to finish. The
-// store keeps its follower role (write fencing, readyz gate) — a stopped
-// follower must not silently start taking writes.
+// Close stops every replication loop (and the leader-loss watcher) and waits
+// for them to finish. Unless the follower was promoted, the store keeps its
+// follower role (write fencing, readyz gate) — a stopped follower must not
+// silently start taking writes.
 func (f *Follower) Close() {
+	f.closing.Store(true)
+	f.stopOnce.Do(func() { close(f.watcherStop) })
 	if f.cancel != nil {
 		f.cancel()
 	}
 	f.wg.Wait()
+	if f.cancel != nil {
+		<-f.watcherDone
+	}
 }
 
 // Bootstraps returns how many collection bootstraps this follower
@@ -220,6 +283,7 @@ func (f *Follower) listLeader(ctx context.Context) ([]string, error) {
 		return nil, err
 	}
 	defer resp.Body.Close()
+	f.noteContact()
 	if resp.StatusCode != http.StatusOK {
 		return nil, fmt.Errorf("leader answered %s", resp.Status)
 	}
@@ -278,8 +342,11 @@ func (f *Follower) reconcile(ctx context.Context, names []string) {
 
 // run is one collection's replication loop: sync until an error, then back
 // off and reconnect, forever. Every erroring session counts as a reconnect.
+// The backoff is full-jitter capped exponential (see backoff.go) so a fleet
+// of replicas doesn't stampede a just-restarted leader in lockstep; any
+// healthy exchange resets it (noteHealthy).
 func (r *replica) run(ctx context.Context) {
-	backoff := 250 * time.Millisecond
+	r.bo = backoff{base: 250 * time.Millisecond, cap: 15 * time.Second}
 	for ctx.Err() == nil {
 		err := r.sync(ctx)
 		if ctx.Err() != nil {
@@ -288,20 +355,28 @@ func (r *replica) run(ctx context.Context) {
 		if err == nil {
 			return // collection gone on the leader; manager reconciles
 		}
+		d := r.bo.next()
 		r.mu.Lock()
 		r.reconnects++
+		r.consecFailures++
+		r.curBackoff = d
 		r.mu.Unlock()
 		r.f.mReconnects.With(r.name).Inc()
-		r.f.logf("repl: %s: stream error (reconnecting in %v): %v", r.name, backoff, err)
+		r.f.logf("repl: %s: stream error (reconnecting in %v): %v", r.name, d.Round(time.Millisecond), err)
 		select {
 		case <-ctx.Done():
 			return
-		case <-time.After(backoff):
-		}
-		if backoff *= 2; backoff > 15*time.Second {
-			backoff = 15 * time.Second
+		case <-time.After(d):
 		}
 	}
+}
+
+// noteHealthy resets the reconnect schedule after a successful exchange.
+func (r *replica) noteHealthy() {
+	r.bo.reset()
+	r.mu.Lock()
+	r.consecFailures, r.curBackoff = 0, 0
+	r.mu.Unlock()
 }
 
 // errStale marks a stream position the leader no longer serves (410): the
@@ -342,6 +417,7 @@ func (r *replica) sync(ctx context.Context) error {
 		case err != nil:
 			return err
 		}
+		r.noteHealthy()
 		_ = progressed // a caught-up poll long-polled on the leader; loop immediately
 		if ctx.Err() != nil {
 			return ctx.Err()
@@ -373,6 +449,7 @@ func (r *replica) tailOnce(ctx context.Context, c *server.Collection) (bool, err
 		return false, err
 	}
 	defer resp.Body.Close()
+	r.f.noteContact() // any answer at all proves the leader alive
 	switch resp.StatusCode {
 	case http.StatusOK:
 	case http.StatusNotFound:
@@ -385,9 +462,25 @@ func (r *replica) tailOnce(ctx context.Context, c *server.Collection) (bool, err
 	hdrGen, _ := strconv.ParseUint(resp.Header.Get("X-Gbkmv-Generation"), 10, 64)
 	hdrSynced, _ := strconv.ParseInt(resp.Header.Get("X-Gbkmv-Synced-Offset"), 10, 64)
 	hdrEntries, _ := strconv.Atoi(resp.Header.Get("X-Gbkmv-Wal-Entries"))
+	if cd := resp.Header.Get("X-Gbkmv-Chain-Depth"); cd != "" {
+		// The upstream's distance from the true leader; ours is one more.
+		// This is how depth propagates down chained topologies.
+		if d, perr := strconv.ParseInt(cd, 10, 64); perr == nil && d >= 0 {
+			r.f.store.SetChainDepth(d + 1)
+		}
+	}
 	frames, err := io.ReadAll(io.LimitReader(resp.Body, 64<<20))
 	if err != nil {
 		return false, err
+	}
+	if cs := resp.Header.Get("X-Gbkmv-Chunk-Start"); cs != "" && len(frames) > 0 {
+		// A duplicated/replayed response (a retrying proxy, a confused
+		// cache) carries frames from the wrong offset; appending them here
+		// would silently double records. Drop the chunk and retry — the
+		// local journal is untouched.
+		if start, perr := strconv.ParseInt(cs, 10, 64); perr == nil && start != from {
+			return false, fmt.Errorf("chunk starts at %d, requested %d (duplicated or replayed response); dropping", start, from)
+		}
 	}
 	if next := resp.Header.Get("X-Gbkmv-Next-Generation"); next != "" {
 		// The generation we tailed is complete; roll our own snapshot to join
@@ -523,6 +616,7 @@ func (r *replica) fetchJSON(ctx context.Context, u string, v any) error {
 		return err
 	}
 	defer resp.Body.Close()
+	r.f.noteContact()
 	if resp.StatusCode == http.StatusNotFound {
 		return errGoneFromLeader
 	}
@@ -544,6 +638,7 @@ func (r *replica) fetchFile(ctx context.Context, u, path string) error {
 		return err
 	}
 	defer resp.Body.Close()
+	r.f.noteContact()
 	switch resp.StatusCode {
 	case http.StatusOK:
 	case http.StatusNotFound:
@@ -573,10 +668,13 @@ func (r *replica) fetchFile(ctx context.Context, u, path string) error {
 func (r *replica) stats() *server.ReplStats {
 	r.mu.Lock()
 	st := &server.ReplStats{
-		Leader:           r.f.opt.Leader,
-		Bootstrapped:     r.bootstrapped,
-		BootstrapSeconds: r.bootstrapSecs,
-		StreamReconnects: r.reconnects,
+		Leader:              r.f.opt.Leader,
+		Bootstrapped:        r.bootstrapped,
+		BootstrapSeconds:    r.bootstrapSecs,
+		StreamReconnects:    r.reconnects,
+		ConsecutiveFailures: r.consecFailures,
+		ReconnectBackoff:    r.curBackoff.Seconds(),
+		ChainDepth:          r.f.store.ChainDepth(),
 	}
 	coll := r.coll
 	leaderGen, leaderSynced, leaderEntries := r.leaderGen, r.leaderSynced, r.leaderEntries
@@ -651,6 +749,10 @@ func (f *Follower) readyCheck() (bool, string) {
 // refreshLagGauges recomputes the per-collection lag gauges; runs on every
 // /metrics scrape so the exposition is current without a background ticker.
 func (f *Follower) refreshLagGauges() {
+	f.mChainDepth.Set(float64(f.store.ChainDepth()))
+	if f.promoted.Load() {
+		return // a promoted node is the leader; lag is no longer meaningful
+	}
 	f.mu.Lock()
 	replicas := make([]*replica, 0, len(f.replicas))
 	for _, r := range f.replicas {

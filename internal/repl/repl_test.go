@@ -14,6 +14,7 @@ import (
 	"path/filepath"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"testing"
 	"time"
 
@@ -158,6 +159,10 @@ const testCorpus = `{
 	"options": {"budget_units": 100000, "buffer_bits": 64}
 }`
 
+// bulkSeq distinguishes request ids across insertMany calls — reusing a rid
+// would trip the duplicate-insert window, which is exactly what it's for.
+var bulkSeq atomic.Int64
+
 // insertMany streams total records into the leader collection from a few
 // concurrent writers, mimicking live traffic during replication.
 func insertMany(t *testing.T, leader *node, coll string, total int) {
@@ -166,6 +171,7 @@ func insertMany(t *testing.T, leader *node, coll string, total int) {
 	if err != nil {
 		t.Fatal(err)
 	}
+	seq := bulkSeq.Add(1)
 	const writers, batch = 8, 25
 	per := total / writers
 	var wg sync.WaitGroup
@@ -179,7 +185,7 @@ func insertMany(t *testing.T, leader *node, coll string, total int) {
 				for j := 0; j < batch && i+j < per; j++ {
 					recs = append(recs, []string{"bulk", fmt.Sprintf("w%d-r%d", w, i+j)})
 				}
-				if _, err := c.Insert(recs, fmt.Sprintf("bulk-%d-%d", w, i)); err != nil {
+				if _, err := c.Insert(recs, fmt.Sprintf("bulk-%d-%d-%d", seq, w, i)); err != nil {
 					errc <- err
 					return
 				}

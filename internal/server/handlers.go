@@ -28,6 +28,7 @@ const maxBodyBytes = 256 << 20
 //	POST   /collections/{name}/search:batch  many searches in one request
 //	POST   /collections/{name}/topk:batch    many top-k queries in one request
 //	POST   /collections/{name}/snapshot  persist now, truncating the journal
+//	POST   /promote                      promote a follower to leader (fenced failover)
 //	GET    /collections/{name}/wal       replication stream (raw journal frames)
 //	GET    /collections/{name}/repl/manifest  committed generation, for bootstrap
 //	GET    /collections/{name}/repl/file      snapshot file transfer, for bootstrap
@@ -55,6 +56,7 @@ func Handler(s *Store) http.Handler {
 	mux.HandleFunc("POST /collections/{name}/search:batch", h.searchBatch)
 	mux.HandleFunc("POST /collections/{name}/topk:batch", h.topkBatch)
 	mux.HandleFunc("POST /collections/{name}/snapshot", h.snapshot)
+	mux.HandleFunc("POST /promote", h.promote)
 	mux.HandleFunc("GET /collections/{name}/wal", h.walStream)
 	mux.HandleFunc("GET /collections/{name}/repl/manifest", h.replManifest)
 	mux.HandleFunc("GET /collections/{name}/repl/file", h.replFile)
@@ -82,6 +84,25 @@ func decode(w http.ResponseWriter, r *http.Request, v any) bool {
 		writeError(w, http.StatusBadRequest, "invalid request body: %v", err)
 		return false
 	}
+	return true
+}
+
+// shed answers a request refused under overload: 503 + Retry-After, booked
+// on the shed-load counter under the given reason.
+func (h *api) shed(w http.ResponseWriter, reason, format string, args ...any) {
+	h.store.metrics.shedLoad.With(reason).Inc()
+	w.Header().Set("Retry-After", "1")
+	writeError(w, http.StatusServiceUnavailable, format, args...)
+}
+
+// deadlinePassed sheds the request when its -request-timeout deadline (set
+// by the middleware) already passed — work the client gave up on is dropped
+// at the door instead of executed into the void.
+func (h *api) deadlinePassed(w http.ResponseWriter, r *http.Request) bool {
+	if r.Context().Err() == nil {
+		return false
+	}
+	h.shed(w, "deadline", "request deadline exceeded before the request was served")
 	return true
 }
 
@@ -184,6 +205,9 @@ type buildRequest struct {
 
 func (h *api) build(w http.ResponseWriter, r *http.Request) {
 	if h.fenceWrite(w, r) {
+		return
+	}
+	if h.deadlinePassed(w, r) {
 		return
 	}
 	name := r.PathValue("name")
@@ -290,6 +314,35 @@ func (h *api) stats(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, st)
 }
 
+// promote turns a follower into the leader: POST /promote runs the
+// replication layer's promotion sequence (stop tailing, roll every
+// collection's generation, drop write fencing — see repl.Follower.Promote).
+// 409 on a node that is already the leader; idempotent in effect, since a
+// second call lands in that 409.
+func (h *api) promote(w http.ResponseWriter, r *http.Request) {
+	if h.store.FollowerLeader() == "" {
+		writeError(w, http.StatusConflict, "this node is already the leader")
+		return
+	}
+	fn := h.store.promoteHandler()
+	if fn == nil {
+		writeError(w, http.StatusConflict, "this node has no promotion handler (not running as a replica?)")
+		return
+	}
+	if err := fn(); err != nil {
+		writeError(w, http.StatusInternalServerError, "promoting: %v", err)
+		return
+	}
+	gens := make(map[string]uint64)
+	for _, name := range h.store.Names() {
+		if c, err := h.store.Get(name); err == nil {
+			gen, _, _ := c.ReplPosition()
+			gens[name] = gen
+		}
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"promoted": true, "generations": gens})
+}
+
 type insertRequest struct {
 	Records [][]string `json:"records"`
 	// RequestID optionally tags the batch for duplicate detection: a retry
@@ -302,6 +355,20 @@ type insertRequest struct {
 func (h *api) insert(w http.ResponseWriter, r *http.Request) {
 	if h.fenceWrite(w, r) {
 		return
+	}
+	if h.deadlinePassed(w, r) {
+		return
+	}
+	// The in-flight gate bounds inserts *before* the body is decoded and the
+	// batch joins the commit queue: under overload the cheap answer is an
+	// immediate 503 the client retries later, not another queued fsync.
+	release, ok := h.store.acquireInsertSlot()
+	if !ok {
+		h.shed(w, "inflight_inserts", "too many in-flight inserts; retry later")
+		return
+	}
+	if release != nil {
+		defer release()
 	}
 	c, ok := h.collection(w, r)
 	if !ok {
@@ -348,6 +415,9 @@ type searchRequest struct {
 }
 
 func (h *api) search(w http.ResponseWriter, r *http.Request) {
+	if h.deadlinePassed(w, r) {
+		return
+	}
 	c, ok := h.collection(w, r)
 	if !ok {
 		return
@@ -384,6 +454,9 @@ type topkRequest struct {
 }
 
 func (h *api) topk(w http.ResponseWriter, r *http.Request) {
+	if h.deadlinePassed(w, r) {
+		return
+	}
 	c, ok := h.collection(w, r)
 	if !ok {
 		return
@@ -429,6 +502,9 @@ type batchSearchRequest struct {
 // and lock acquisition plus response encoding are amortized over the batch.
 // Per-query failures (e.g. an empty query) fail only their result slot.
 func (h *api) searchBatch(w http.ResponseWriter, r *http.Request) {
+	if h.deadlinePassed(w, r) {
+		return
+	}
 	c, ok := h.collection(w, r)
 	if !ok {
 		return
@@ -454,7 +530,7 @@ func (h *api) searchBatch(w http.ResponseWriter, r *http.Request) {
 		tr.engine = c.engName
 		tr.queries = len(req.Queries)
 	}
-	results := c.SearchBatch(req.Queries, req.Threshold, req.Limit, req.WithTokens)
+	results := c.SearchBatch(r.Context(), req.Queries, req.Threshold, req.Limit, req.WithTokens)
 	sc := getResp()
 	defer putResp(sc)
 	sc.b = appendBatchResponse(sc.b[:0], results, true)
@@ -468,6 +544,9 @@ type batchTopKRequest struct {
 }
 
 func (h *api) topkBatch(w http.ResponseWriter, r *http.Request) {
+	if h.deadlinePassed(w, r) {
+		return
+	}
 	c, ok := h.collection(w, r)
 	if !ok {
 		return
@@ -493,7 +572,7 @@ func (h *api) topkBatch(w http.ResponseWriter, r *http.Request) {
 		tr.engine = c.engName
 		tr.queries = len(req.Queries)
 	}
-	results := c.TopKBatch(req.Queries, req.K, req.WithTokens)
+	results := c.TopKBatch(r.Context(), req.Queries, req.K, req.WithTokens)
 	sc := getResp()
 	defer putResp(sc)
 	sc.b = appendBatchResponse(sc.b[:0], results, false)

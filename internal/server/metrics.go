@@ -44,6 +44,12 @@ type Metrics struct {
 	estTotal      *obs.CounterVec   // collection
 	bufferAccepts *obs.CounterVec   // collection
 
+	// fencing counts stale-peer replication requests answered 410 Gone (the
+	// promotion fencing protocol); shedLoad counts requests shed with 503
+	// under overload, by reason.
+	fencing  *obs.CounterVec // collection
+	shedLoad *obs.CounterVec // reason
+
 	collRecords *obs.GaugeVec // collection (scrape-time mirror)
 	collGen     *obs.GaugeVec // collection: query generation
 	journaled   *obs.GaugeVec // collection: entries in the current journal
@@ -119,6 +125,12 @@ func newMetrics() *Metrics {
 			"Full sketch-merge estimates computed by searches.", "collection"),
 		bufferAccepts: r.CounterVec("gbkmv_search_buffer_accepts_total",
 			"Hits settled by the exact frequent-element buffer alone.", "collection"),
+		fencing: r.CounterVec("gbkmv_repl_fencing_rejections_total",
+			"Stale-generation replication requests rejected with 410 Gone (fenced-off peers).",
+			"collection"),
+		shedLoad: r.CounterVec("gbkmv_shed_load_total",
+			"Requests shed with 503 Service Unavailable under overload, by reason.",
+			"reason"),
 		collRecords: r.GaugeVec("gbkmv_collection_records",
 			"Records in the collection.", "collection"),
 		collGen: r.GaugeVec("gbkmv_collection_query_generation",
@@ -182,7 +194,7 @@ func (m *Metrics) removeCollection(name string) {
 		m.walBytes, m.walFrames, m.rollbacks, m.tornTails,
 		m.qcHits, m.qcMisses, m.qcEvictions,
 		m.candTotal, m.prunedTotal, m.estTotal, m.bufferAccepts,
-		m.hashedTotal, m.shrinkTotal,
+		m.hashedTotal, m.shrinkTotal, m.fencing,
 	} {
 		v.Remove(name)
 	}

@@ -1,10 +1,12 @@
 package server
 
 import (
+	"context"
 	"crypto/rand"
 	"encoding/hex"
 	"net/http"
 	"strconv"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -68,6 +70,10 @@ func (tw *traceWriter) Write(b []byte) (int, error) {
 	return tw.ResponseWriter.Write(b)
 }
 
+// Unwrap lets http.ResponseController reach the underlying writer (for
+// per-request write deadlines) through the pooled wrapper.
+func (tw *traceWriter) Unwrap() http.ResponseWriter { return tw.ResponseWriter }
+
 var traceWriterPool = sync.Pool{New: func() any { return new(traceWriter) }}
 
 // traceOf returns the request's trace when the middleware is in front (it
@@ -98,8 +104,22 @@ func nextRequestID() string {
 	return ridPrefix + strconv.FormatUint(ridCounter.Add(1), 16)
 }
 
+// isReplTransfer reports whether the request is one of the deliberately
+// long-running replication endpoints — the wal long-poll and the bootstrap
+// file transfer — which the per-request deadline and write deadline must not
+// cut short. Matched on the raw path (routing hasn't happened yet); the only
+// GET routes ending in /wal or containing /repl/ are exactly those.
+func isReplTransfer(r *http.Request) bool {
+	if r.Method != http.MethodGet {
+		return false
+	}
+	p := r.URL.Path
+	return strings.HasSuffix(p, "/wal") || strings.Contains(p, "/repl/")
+}
+
 // withObservability wraps the routed mux with request metrics, the
-// X-Request-Id echo and the slow-query log.
+// X-Request-Id echo, the graceful-degradation deadlines and the slow-query
+// log.
 func withObservability(s *Store, next http.Handler) http.Handler {
 	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
 		start := time.Now()
@@ -112,7 +132,31 @@ func withObservability(s *Store, next http.Handler) http.Handler {
 		tw.status = 0
 		tw.trace = reqTrace{}
 		w.Header().Set("X-Request-Id", rid)
+		// Graceful degradation: bound the request with a context deadline
+		// (handlers shed with 503 once it passes) and the response with a
+		// write deadline (a stuck reader can't pin the connection forever) —
+		// except for the replication stream/transfer endpoints, which are
+		// long-running by design. Both knobs default to off; the atomic loads
+		// keep the disabled path free.
+		var cancel context.CancelFunc
+		if s.requestTimeoutNs.Load() > 0 || s.writeTimeoutNs.Load() > 0 {
+			if !isReplTransfer(r) {
+				if wt := s.writeTimeoutNs.Load(); wt > 0 {
+					// Errors (recorder writers in tests) mean no deadline
+					// support; the request proceeds unbounded.
+					_ = http.NewResponseController(tw).SetWriteDeadline(start.Add(time.Duration(wt)))
+				}
+				if rt := s.requestTimeoutNs.Load(); rt > 0 {
+					var ctx context.Context
+					ctx, cancel = context.WithTimeout(r.Context(), time.Duration(rt))
+					r = r.WithContext(ctx)
+				}
+			}
+		}
 		next.ServeHTTP(tw, r)
+		if cancel != nil {
+			cancel()
+		}
 		d := time.Since(start)
 		status := tw.status
 		if status == 0 {

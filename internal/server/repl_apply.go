@@ -37,7 +37,12 @@ var ErrReplDiverged = errors.New("server: replica diverged from leader")
 // base URL ("" reverts to leader role). Every write endpoint then fences
 // with a redirect to the leader; Close stops snapshotting (a replica's
 // generation must track the leader's).
-func (s *Store) SetFollower(leaderURL string) { s.leaderURL.Store(leaderURL) }
+func (s *Store) SetFollower(leaderURL string) {
+	s.leaderURL.Store(leaderURL)
+	if leaderURL == "" {
+		s.chainDepth.Store(0)
+	}
+}
 
 // FollowerLeader returns the leader base URL, or "" when this store is the
 // leader.
@@ -50,6 +55,25 @@ func (s *Store) FollowerLeader() string {
 // with the returned reason until fn reports true. The follower uses it to
 // keep load balancers away until bootstrap finished and lag is bounded.
 func (s *Store) SetReadyCheck(fn func() (ok bool, reason string)) { s.readyCheck.Store(fn) }
+
+// SetPromoteHandler installs the function POST /promote runs — the
+// follower's promotion sequence (stop replicating, roll every generation,
+// drop write fencing). Installed by repl.New; nil on a leader.
+func (s *Store) SetPromoteHandler(fn func() error) { s.promoteFn.Store(fn) }
+
+func (s *Store) promoteHandler() func() error {
+	fn, _ := s.promoteFn.Load().(func() error)
+	return fn
+}
+
+// SetChainDepth records this node's distance from the true leader (0 on the
+// leader itself, upstream+1 on a follower). WAL responses advertise it so
+// downstream replicas learn their own depth; /metrics exposes it as the
+// chain-depth gauge.
+func (s *Store) SetChainDepth(d int64) { s.chainDepth.Store(d) }
+
+// ChainDepth reports the node's replication chain depth (0 = leader).
+func (s *Store) ChainDepth() int64 { return s.chainDepth.Load() }
 
 func (s *Store) readyGate() (bool, string) {
 	if fn, ok := s.readyCheck.Load().(func() (bool, string)); ok && fn != nil {
@@ -88,6 +112,15 @@ type ReplStats struct {
 	LagEntries         int     `json:"replica_lag_entries"`
 	LagSeconds         float64 `json:"replica_lag_seconds"`
 	StreamReconnects   int64   `json:"stream_reconnects"`
+	// ConsecutiveFailures counts stream sessions that have ended in an error
+	// since the last successful exchange with the upstream; ReconnectBackoff
+	// is the jittered delay the replica last slept (or is sleeping) before
+	// retrying. Both zero while the stream is healthy.
+	ConsecutiveFailures int64   `json:"consecutive_failures"`
+	ReconnectBackoff    float64 `json:"reconnect_backoff_seconds"`
+	// ChainDepth is this node's distance from the true leader (1 for a
+	// follower of the leader, 2 for a follower of a follower, ...).
+	ChainDepth int64 `json:"chain_depth"`
 }
 
 // Metrics exposes the store's metric surface so the follower can register

@@ -105,13 +105,35 @@ const (
 	hdrWALSynced     = "X-Gbkmv-Synced-Offset"
 	hdrWALEntries    = "X-Gbkmv-Wal-Entries"
 	hdrWALNextGen    = "X-Gbkmv-Next-Generation"
+	// hdrWALChunkStart echoes the from offset a chunk response actually
+	// starts at. The follower verifies it against what it asked for, so a
+	// duplicated/replayed response (a retrying proxy, a confused cache)
+	// is detected before its frames are appended at the wrong offset.
+	hdrWALChunkStart = "X-Gbkmv-Chunk-Start"
+	// hdrWALChainDepth is the serving node's distance from the true leader
+	// (0 on the leader itself). A follower sets its own depth to the
+	// upstream's value plus one — the chain-depth gauge and a sanity signal
+	// for chained topologies.
+	hdrWALChainDepth = "X-Gbkmv-Chain-Depth"
 )
 
-func setWALHeaders(w http.ResponseWriter, gen uint64, synced int64, entries int) {
-	h := w.Header()
-	h.Set(hdrWALGeneration, strconv.FormatUint(gen, 10))
-	h.Set(hdrWALSynced, strconv.FormatInt(synced, 10))
-	h.Set(hdrWALEntries, strconv.Itoa(entries))
+func (h *api) setWALHeaders(w http.ResponseWriter, gen uint64, synced int64, entries int) {
+	hd := w.Header()
+	hd.Set(hdrWALGeneration, strconv.FormatUint(gen, 10))
+	hd.Set(hdrWALSynced, strconv.FormatInt(synced, 10))
+	hd.Set(hdrWALEntries, strconv.Itoa(entries))
+	hd.Set(hdrWALChainDepth, strconv.FormatInt(h.store.ChainDepth(), 10))
+}
+
+// fenceStale answers a replication request whose position this node no
+// longer serves: 410 Gone plus the current generation header, so a fenced
+// peer — typically a resurrected old leader — can tell "I must re-bootstrap
+// against generation G" apart from an unreachable or confused node, and
+// demote into a follower instead of diverging.
+func (h *api) fenceStale(w http.ResponseWriter, c *Collection, curGen uint64, format string, args ...any) {
+	w.Header().Set(hdrWALGeneration, strconv.FormatUint(curGen, 10))
+	h.store.metrics.fencing.With(c.name).Inc()
+	writeError(w, http.StatusGone, format, args...)
 }
 
 // walStream serves GET /collections/{name}/wal?gen=G&from=F[&wait=D][&max=N]:
@@ -173,10 +195,11 @@ func (h *api) walStream(w http.ResponseWriter, r *http.Request) {
 		switch {
 		case gen == st.gen:
 			if from > st.synced {
-				// The follower claims bytes the leader never made durable:
-				// divergence (e.g. the leader lost a crash race). Only a
-				// fresh bootstrap can reconcile.
-				writeError(w, http.StatusGone,
+				// The follower claims bytes this node never made durable:
+				// divergence (e.g. an old leader that journaled past the
+				// fenced frontier before it died). Only a fresh bootstrap
+				// can reconcile.
+				h.fenceStale(w, c, st.gen,
 					"offset %d is past the durable frontier %d of generation %d; re-bootstrap", from, st.synced, gen)
 				return
 			}
@@ -197,19 +220,19 @@ func (h *api) walStream(w http.ResponseWriter, r *http.Request) {
 				}
 				continue
 			}
-			setWALHeaders(w, st.gen, st.synced, st.entries)
+			h.setWALHeaders(w, st.gen, st.synced, st.entries)
 			w.WriteHeader(http.StatusOK)
 			return
 		case gen == st.prevGen && from == st.prevFinal:
 			// Clean handoff: the follower applied the superseded journal in
 			// full, so its state equals the snapshot the current generation
 			// started from.
-			setWALHeaders(w, gen, st.prevFinal, st.entries)
+			h.setWALHeaders(w, gen, st.prevFinal, st.entries)
 			w.Header().Set(hdrWALNextGen, strconv.FormatUint(st.gen, 10))
 			w.WriteHeader(http.StatusOK)
 			return
 		default:
-			writeError(w, http.StatusGone,
+			h.fenceStale(w, c, st.gen,
 				"generation %d offset %d is no longer served (current generation %d); re-bootstrap", gen, from, st.gen)
 			return
 		}
@@ -233,7 +256,8 @@ func (h *api) serveWALChunk(w http.ResponseWriter, c *Collection, st walStatus, 
 		return
 	}
 	defer f.Close()
-	setWALHeaders(w, st.gen, st.synced, st.entries)
+	h.setWALHeaders(w, st.gen, st.synced, st.entries)
+	w.Header().Set(hdrWALChunkStart, strconv.FormatInt(from, 10))
 	w.Header().Set("Content-Type", "application/octet-stream")
 	w.Header().Set("Content-Length", strconv.FormatInt(n, 10))
 	w.WriteHeader(http.StatusOK)
@@ -309,7 +333,7 @@ func (h *api) replFile(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	if gen != st.gen {
-		writeError(w, http.StatusGone, "generation %d is not the committed generation (%d)", gen, st.gen)
+		h.fenceStale(w, c, st.gen, "generation %d is not the committed generation (%d)", gen, st.gen)
 		return
 	}
 	f, err := os.Open(path)
@@ -323,7 +347,7 @@ func (h *api) replFile(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusInternalServerError, "repl/file: %v", err)
 		return
 	}
-	setWALHeaders(w, st.gen, st.synced, st.entries)
+	h.setWALHeaders(w, st.gen, st.synced, st.entries)
 	w.Header().Set("Content-Type", "application/octet-stream")
 	w.Header().Set("Content-Length", strconv.FormatInt(fi.Size(), 10))
 	w.WriteHeader(http.StatusOK)

@@ -1,6 +1,7 @@
 package server
 
 import (
+	"context"
 	"encoding/json"
 	"errors"
 	"fmt"
@@ -60,14 +61,64 @@ type Store struct {
 	// Replica role (see repl_apply.go): leaderURL non-empty fences every
 	// write endpoint behind a redirect to the leader; readyCheck, when set,
 	// extends /readyz with the follower's bootstrap/lag gate; replStats,
-	// when set, annotates /stats with per-collection replication state.
-	leaderURL atomic.Value // string
+	// when set, annotates /stats with per-collection replication state;
+	// promoteFn, when set, is what POST /promote runs; chainDepth is this
+	// node's distance from the true leader (0 on the leader).
+	leaderURL  atomic.Value // string
 	readyCheck atomic.Value // func() (bool, string)
 	replStats  atomic.Value // func(name string) *ReplStats
+	promoteFn  atomic.Value // func() error
+	chainDepth atomic.Int64
+
+	// Graceful degradation (see middleware.go and handlers.go): per-request
+	// deadline and response write deadline in nanoseconds (0 disables), and
+	// a bounded in-flight-insert gate that sheds with 503 instead of
+	// queueing unboundedly.
+	requestTimeoutNs atomic.Int64
+	writeTimeoutNs   atomic.Int64
+	insertGate       atomic.Value // chan struct{} (buffered semaphore)
 
 	opMu sync.Mutex // serializes build/delete/snapshot/close (all disk mutation)
 	mu   sync.RWMutex
 	cols map[string]*Collection
+}
+
+// SetRequestTimeout bounds every request (except the deliberately
+// long-running replication endpoints) with a context deadline; handlers shed
+// with 503 + Retry-After once it passes. Zero (the default) disables it.
+func (s *Store) SetRequestTimeout(d time.Duration) { s.requestTimeoutNs.Store(d.Nanoseconds()) }
+
+// SetResponseWriteTimeout bounds how long a response write may take for
+// non-long-poll endpoints (slowloris/stuck-reader protection applied
+// per-request, since a server-wide WriteTimeout would kill WAL long-polls).
+// Zero disables it.
+func (s *Store) SetResponseWriteTimeout(d time.Duration) { s.writeTimeoutNs.Store(d.Nanoseconds()) }
+
+// SetMaxInflightInserts bounds concurrently served insert requests: past the
+// bound the insert endpoint sheds with 503 + Retry-After instead of piling
+// more batches onto the commit queue. Zero (the default) means unbounded.
+func (s *Store) SetMaxInflightInserts(n int) {
+	if n <= 0 {
+		s.insertGate.Store((chan struct{})(nil))
+		return
+	}
+	s.insertGate.Store(make(chan struct{}, n))
+}
+
+// acquireInsertSlot claims an in-flight-insert slot. ok=false means the gate
+// is full and the request must be shed; release is non-nil iff a slot was
+// actually claimed.
+func (s *Store) acquireInsertSlot() (release func(), ok bool) {
+	gate, _ := s.insertGate.Load().(chan struct{})
+	if gate == nil {
+		return nil, true
+	}
+	select {
+	case gate <- struct{}{}:
+		return func() { <-gate }, true
+	default:
+		return nil, false
+	}
 }
 
 // NewStore opens a store over the data directory, reloading every collection
@@ -908,14 +959,20 @@ func runBatch(n int, run func(i int)) {
 // SearchBatch answers every query of the batch under one read-lock
 // acquisition: each distinct query is prepared once (through the cache when
 // enabled), then the batch fans out across a bounded worker pool. Results
-// are in input order.
-func (c *Collection) SearchBatch(queries []json.RawMessage, threshold float64, limit int, withTokens bool) []BatchResult {
+// are in input order. A ctx deadline passing mid-batch fails the remaining
+// slots (each carries the context error) instead of running the batch to
+// completion against a client that already gave up; a nil ctx never expires.
+func (c *Collection) SearchBatch(ctx context.Context, queries []json.RawMessage, threshold float64, limit int, withTokens bool) []BatchResult {
 	out := make([]BatchResult, len(queries))
 	c.metrics.observeBatch(len(queries))
 	c.mu.RLock()
 	defer c.mu.RUnlock()
 	slots, idx := dedupBatch(queries)
 	runBatch(len(queries), func(i int) {
+		if ctx != nil && ctx.Err() != nil {
+			out[i].Err = ctx.Err()
+			return
+		}
 		pq, err := slots[idx[i]].prepared(c)
 		if err != nil {
 			out[i].Err = err
@@ -931,13 +988,17 @@ func (c *Collection) SearchBatch(queries []json.RawMessage, threshold float64, l
 }
 
 // TopKBatch is SearchBatch for top-k queries.
-func (c *Collection) TopKBatch(queries []json.RawMessage, k int, withTokens bool) []BatchResult {
+func (c *Collection) TopKBatch(ctx context.Context, queries []json.RawMessage, k int, withTokens bool) []BatchResult {
 	out := make([]BatchResult, len(queries))
 	c.metrics.observeBatch(len(queries))
 	c.mu.RLock()
 	defer c.mu.RUnlock()
 	slots, idx := dedupBatch(queries)
 	runBatch(len(queries), func(i int) {
+		if ctx != nil && ctx.Err() != nil {
+			out[i].Err = ctx.Err()
+			return
+		}
 		pq, err := slots[idx[i]].prepared(c)
 		if err != nil {
 			out[i].Err = err
