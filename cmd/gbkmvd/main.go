@@ -65,6 +65,7 @@ func main() {
 		grace       = flag.Duration("grace", 10*time.Second, "graceful shutdown timeout")
 		readTimeout = flag.Duration("read-timeout", 5*time.Minute, "HTTP read timeout (bulk builds can be large)")
 		slowQuery   = flag.Duration("slow-query", 0, "log search requests taking at least this long, with their trace (0 disables)")
+		scrubEvery  = flag.Duration("scrub-interval", 10*time.Minute, "background scrub interval: re-read and verify committed snapshot files on disk (0 disables scrubbing; the read-only recovery probe runs regardless)")
 		debugAddr   = flag.String("debug-addr", "", "listen address for net/http/pprof profiling endpoints; empty disables them")
 
 		headerTimeout  = flag.Duration("read-header-timeout", 10*time.Second, "HTTP read-header timeout (slowloris protection)")
@@ -103,6 +104,13 @@ func main() {
 	store.SetRequestTimeout(*requestTimeout)
 	store.SetResponseWriteTimeout(*writeTimeout)
 	store.SetMaxInflightInserts(*maxInserts)
+	if *dataDir != "" {
+		// Background storage health: periodic scrub passes re-verify committed
+		// snapshots against their checksums, and a short-interval probe moves
+		// read-only collections back to writable once their disk heals.
+		// Store.Close stops the loop.
+		store.StartScrubber(*scrubEvery)
+	}
 
 	// Follower mode: New fences writes and gates /readyz immediately (before
 	// the listener opens, so a load balancer never sees a ready cold

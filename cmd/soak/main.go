@@ -76,6 +76,7 @@ func main() {
 		seed       = flag.Int64("seed", 1, "workload RNG seed")
 
 		failoverDrill = flag.Bool("failover-drill", false, "run the in-process failover drill instead of the networked workload (kills leaders, measures promotion time and read availability)")
+		scrubDrill    = flag.Bool("scrub", false, "run the in-process scrub drill instead of the networked workload (bit-flips a committed snapshot under live reads, requires detection, quarantine, self-repair and unbroken read availability)")
 		drillRounds   = flag.Int("drill-rounds", 3, "failover drill: rounds (each kills a leader and promotes its follower)")
 		promoteBound  = flag.Duration("promote-bound", 30*time.Second, "failover drill: fail if any promotion takes longer than this")
 		minReadAvail  = flag.Float64("min-read-avail", 0.99, "failover drill: fail if read availability lands under this fraction")
@@ -92,6 +93,16 @@ func main() {
 			}
 		}
 		os.Exit(runFailoverDrill(records, *coll, *drillRounds, *duration, *promoteBound, *minReadAvail, *threshold))
+	}
+	if *scrubDrill {
+		var records [][]string
+		if *file != "" {
+			var err error
+			if records, err = loadRecords(*file); err != nil {
+				log.Fatalf("soak: %v", err)
+			}
+		}
+		os.Exit(runScrubDrill(records, *coll, *duration, *threshold))
 	}
 	if *file == "" {
 		flag.Usage()

@@ -1,0 +1,83 @@
+// Package fsx is a small injectable filesystem abstraction for the storage
+// paths that must survive an adversarial disk: the journal writer and the
+// snapshot pipeline. Production code uses OS (thin wrappers over the os
+// package); disk-chaos tests swap in FaultFS, which injects the failure
+// modes real disks exhibit — EIO, ENOSPC with partial writes, torn writes,
+// silent bit flips, and fsyncs that report success without making data
+// durable. It is the storage analog of repl/faultnet.
+//
+// The interface is deliberately narrow: exactly the operations the store's
+// durability story depends on. Paths are plain OS paths, not io/fs rooted
+// names, because the store addresses absolute directories.
+package fsx
+
+import (
+	"io"
+	iofs "io/fs"
+	"os"
+)
+
+// File is the subset of *os.File the journal writer and snapshot paths use.
+type File interface {
+	io.Reader
+	io.Writer
+	io.Seeker
+	io.Closer
+	Name() string
+	Truncate(size int64) error
+	Sync() error
+	Stat() (iofs.FileInfo, error)
+}
+
+// FS is the filesystem surface of the storage layer. Implementations must be
+// safe for concurrent use.
+type FS interface {
+	OpenFile(name string, flag int, perm iofs.FileMode) (File, error)
+	Open(name string) (File, error)
+	Rename(oldpath, newpath string) error
+	Remove(name string) error
+	RemoveAll(path string) error
+	MkdirAll(path string, perm iofs.FileMode) error
+	ReadDir(name string) ([]iofs.DirEntry, error)
+	ReadFile(name string) ([]byte, error)
+	WriteFile(name string, data []byte, perm iofs.FileMode) error
+	Stat(name string) (iofs.FileInfo, error)
+	// SyncDir fsyncs a directory, making renames and creates within it
+	// durable.
+	SyncDir(dir string) error
+}
+
+// OS is the real filesystem. The zero value is ready to use.
+type OS struct{}
+
+// Default is the FS used when none is injected.
+var Default FS = OS{}
+
+func (OS) OpenFile(name string, flag int, perm iofs.FileMode) (File, error) {
+	return os.OpenFile(name, flag, perm)
+}
+func (OS) Open(name string) (File, error)       { return os.Open(name) }
+func (OS) Rename(oldpath, newpath string) error { return os.Rename(oldpath, newpath) }
+func (OS) Remove(name string) error             { return os.Remove(name) }
+func (OS) RemoveAll(path string) error          { return os.RemoveAll(path) }
+func (OS) MkdirAll(path string, perm iofs.FileMode) error {
+	return os.MkdirAll(path, perm)
+}
+func (OS) ReadDir(name string) ([]iofs.DirEntry, error) { return os.ReadDir(name) }
+func (OS) ReadFile(name string) ([]byte, error)         { return os.ReadFile(name) }
+func (OS) WriteFile(name string, data []byte, perm iofs.FileMode) error {
+	return os.WriteFile(name, data, perm)
+}
+func (OS) Stat(name string) (iofs.FileInfo, error) { return os.Stat(name) }
+
+func (OS) SyncDir(dir string) error {
+	d, err := os.Open(dir)
+	if err != nil {
+		return err
+	}
+	err = d.Sync()
+	if cerr := d.Close(); err == nil {
+		err = cerr
+	}
+	return err
+}

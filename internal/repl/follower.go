@@ -17,6 +17,7 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"hash/crc64"
 	"io"
 	"log"
 	"net/http"
@@ -554,7 +555,7 @@ func (r *replica) bootstrap(ctx context.Context) (*server.Collection, error) {
 	if err != nil {
 		return nil, err
 	}
-	if err := os.MkdirAll(dir, 0o755); err != nil {
+	if err := r.f.store.FS().MkdirAll(dir, 0o755); err != nil {
 		return nil, err
 	}
 	indexP, vocabP, metaP := server.ReplicaSnapshotPaths(dir, man.Generation)
@@ -573,7 +574,8 @@ func (r *replica) bootstrap(ctx context.Context) (*server.Collection, error) {
 	}
 	// The transferred meta must commit the generation the files belong to; a
 	// leader snapshot racing the transfer shows up here as a mismatch.
-	mb, err := os.ReadFile(metaP + ".tmp")
+	fsys := r.f.store.FS()
+	mb, err := fsys.ReadFile(metaP + ".tmp")
 	if err != nil {
 		return nil, err
 	}
@@ -586,7 +588,16 @@ func (r *replica) bootstrap(ctx context.Context) (*server.Collection, error) {
 	if m.Generation != man.Generation {
 		return nil, fmt.Errorf("%w: transferred meta commits generation %d, wanted %d", errStale, m.Generation, man.Generation)
 	}
-	if err := os.Rename(metaP+".tmp", metaP); err != nil {
+	// Transfer-time verification point: re-read the transferred files from
+	// local disk and check them against the commit record *before* the
+	// rename makes the generation loadable. Catches what the per-file header
+	// check cannot — corruption introduced by our own disk on the way down.
+	if err := server.VerifySnapshotFiles(fsys, dir, man.Generation, mb); err != nil {
+		r.f.store.NoteTransferVerifyFailure(r.name)
+		r.f.logf("repl: %s: transferred snapshot failed verification: %v; retrying bootstrap", r.name, err)
+		return nil, fmt.Errorf("transferred snapshot verification: %w", err)
+	}
+	if err := fsys.Rename(metaP+".tmp", metaP); err != nil {
 		return nil, err
 	}
 	c, err := r.f.store.InstallReplica(r.name)
@@ -648,11 +659,17 @@ func (r *replica) fetchFile(ctx context.Context, u, path string) error {
 	default:
 		return fmt.Errorf("GET %s: %s", u, resp.Status)
 	}
-	f, err := os.OpenFile(path, os.O_CREATE|os.O_TRUNC|os.O_WRONLY, 0o644)
+	f, err := r.f.store.FS().OpenFile(path, os.O_CREATE|os.O_TRUNC|os.O_WRONLY, 0o644)
 	if err != nil {
 		return err
 	}
-	if _, err := io.Copy(f, resp.Body); err != nil {
+	// Checksum the bytes as received: snapshot responses carry the commit
+	// record's size and CRC64, so a truncated or corrupted transfer (a
+	// dropped connection, a mangling proxy) fails here and is retried —
+	// before anything downstream trusts the file.
+	crc := crc64.New(crc64.MakeTable(crc64.ECMA))
+	n, err := io.Copy(io.MultiWriter(f, crc), resp.Body)
+	if err != nil {
 		f.Close()
 		return err
 	}
@@ -660,7 +677,21 @@ func (r *replica) fetchFile(ctx context.Context, u, path string) error {
 		f.Close()
 		return err
 	}
-	return f.Close()
+	if err := f.Close(); err != nil {
+		return err
+	}
+	if ws := resp.Header.Get("X-Gbkmv-File-Size"); ws != "" {
+		want, perr := strconv.ParseInt(ws, 10, 64)
+		if perr == nil && want != n {
+			return fmt.Errorf("GET %s: transferred %d bytes, commit record says %d", u, n, want)
+		}
+		if wc := resp.Header.Get("X-Gbkmv-File-Crc64"); wc != "" {
+			if got := fmt.Sprintf("%016x", crc.Sum64()); got != wc {
+				return fmt.Errorf("GET %s: transferred crc64 %s, commit record says %s", u, got, wc)
+			}
+		}
+	}
+	return nil
 }
 
 // stats computes the replica's current ReplStats against the live local

@@ -1,9 +1,11 @@
 package server
 
 import (
+	"encoding/json"
 	"fmt"
 	"net/http"
 	"net/http/httptest"
+	"os"
 	"reflect"
 	"testing"
 )
@@ -230,8 +232,22 @@ func TestLegacySnapshotLoads(t *testing.T) {
 	}
 	// Rewrite the committed snapshot in the legacy headerless format: for
 	// the gbkmv engine, Save's payload without the SaveEngine header is
-	// exactly what the pre-engine server wrote.
-	if err := writeFileSync(indexPath(c.dir, c.gen), c.eng.Save); err != nil {
+	// exactly what the pre-engine server wrote. A legacy commit record
+	// carries no checksums either, so strip them — the rewritten file must
+	// load unverified, as it did then.
+	if _, err := writeFileSync(nil, indexPath(c.dir, c.gen), c.eng.Save); err != nil {
+		t.Fatal(err)
+	}
+	m, err := readMeta(nil, c.dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m.Checksums = nil
+	b, err := json.Marshal(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(metaPath(c.dir), b, 0o644); err != nil {
 		t.Fatal(err)
 	}
 	want := engineSearch(t, ts, "rest")

@@ -134,11 +134,35 @@ func (h *api) collection(w http.ResponseWriter, r *http.Request) (*Collection, b
 	return c, true
 }
 
+// health reports liveness plus storage health: always 200 (the process is
+// up and serving reads even with a degraded disk — that's what the
+// degradation machinery is for), with "status" dropping from "ok" to
+// "degraded" and a per-collection storage map when any collection is
+// read-only or holds a quarantined generation. Routability is /readyz's
+// job, not this endpoint's.
 func (h *api) health(w http.ResponseWriter, r *http.Request) {
-	writeJSON(w, http.StatusOK, map[string]any{
-		"status":      "ok",
-		"collections": len(h.store.Names()),
-	})
+	names := h.store.Names()
+	status := "ok"
+	storage := make(map[string]string)
+	for _, name := range names {
+		c, err := h.store.Get(name)
+		if err != nil {
+			continue
+		}
+		st := c.storageStatus()
+		if st != "ok" {
+			status = "degraded"
+			storage[name] = st
+		}
+	}
+	resp := map[string]any{
+		"status":      status,
+		"collections": len(names),
+	}
+	if len(storage) > 0 {
+		resp["storage"] = storage
+	}
+	writeJSON(w, http.StatusOK, resp)
 }
 
 // ready distinguishes "process up" (healthz) from "able to serve" — a load
@@ -214,6 +238,14 @@ func (h *api) build(w http.ResponseWriter, r *http.Request) {
 	if !ValidName(name) {
 		writeError(w, http.StatusBadRequest, "invalid collection name %q", name)
 		return
+	}
+	// Replacing a read-only collection would write a fresh snapshot onto the
+	// unhealthy disk; shed like any other write until the probe clears it.
+	if c, err := h.store.Get(name); err == nil {
+		if ro, reason := c.ReadOnlyState(); ro {
+			h.shed(w, "storage_readonly", "collection %q is read-only (%s); retry later", name, reason)
+			return
+		}
 	}
 	var req buildRequest
 	if !decode(w, r, &req) {
@@ -311,6 +343,7 @@ func (h *api) stats(w http.ResponseWriter, r *http.Request) {
 	} else {
 		st.Role = "leader"
 	}
+	st.Storage = h.store.storageHealth(c)
 	writeJSON(w, http.StatusOK, st)
 }
 
@@ -372,6 +405,12 @@ func (h *api) insert(w http.ResponseWriter, r *http.Request) {
 	}
 	c, ok := h.collection(w, r)
 	if !ok {
+		return
+	}
+	// Storage-degraded read-only mode: reads keep serving, writes shed with
+	// a retryable 503 until the background probe sees the disk heal.
+	if ro, reason := c.ReadOnlyState(); ro {
+		h.shed(w, "storage_readonly", "collection %q is read-only (%s); retry later", c.name, reason)
 		return
 	}
 	var req insertRequest
@@ -584,6 +623,12 @@ func (h *api) snapshot(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	name := r.PathValue("name")
+	if c, err := h.store.Get(name); err == nil {
+		if ro, reason := c.ReadOnlyState(); ro {
+			h.shed(w, "storage_readonly", "collection %q is read-only (%s); retry later", name, reason)
+			return
+		}
+	}
 	c, err := h.store.Snapshot(name)
 	switch {
 	case errors.Is(err, ErrNotFound):

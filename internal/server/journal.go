@@ -16,6 +16,8 @@ import (
 	"io"
 	"os"
 	"sync/atomic"
+
+	"gbkmv/internal/fsx"
 )
 
 // The journal is a flat file of length-prefixed entries (the siser idiom:
@@ -53,7 +55,7 @@ var errEntryTooLarge = errors.New("journal entry too large")
 // collection's I/O lock while the expensive fsync runs outside it, shared
 // by every batch of a commit group (see Collection.Insert).
 type journalWriter struct {
-	f   *os.File
+	f   fsx.File
 	buf *bufio.Writer
 	off int64 // logical size: file bytes plus buffered bytes
 
@@ -73,9 +75,13 @@ type journalWriter struct {
 
 // openJournalWriter opens (creating if needed) the journal at path for
 // appending, truncating it first to validLen to drop any torn tail entry
-// found during replay.
-func openJournalWriter(path string, validLen int64) (*journalWriter, error) {
-	f, err := os.OpenFile(path, os.O_CREATE|os.O_RDWR, 0o644)
+// found during replay. The file goes through fsys so disk-chaos tests can
+// inject write and fsync faults.
+func openJournalWriter(fsys fsx.FS, path string, validLen int64) (*journalWriter, error) {
+	if fsys == nil {
+		fsys = fsx.Default
+	}
+	f, err := fsys.OpenFile(path, os.O_CREATE|os.O_RDWR, 0o644)
 	if err != nil {
 		return nil, err
 	}
@@ -294,8 +300,11 @@ func decodeEntry(payload []byte) (journalEntry, error) {
 // dropping interior records would be data loss. The frame-decode loop
 // itself lives in journalScanner (journal_reader.go), shared with the
 // replication apply path.
-func replayJournal(path string) (entries []journalEntry, validLen int64, err error) {
-	f, err := os.Open(path)
+func replayJournal(fsys fsx.FS, path string) (entries []journalEntry, validLen int64, err error) {
+	if fsys == nil {
+		fsys = fsx.Default
+	}
+	f, err := fsys.Open(path)
 	if errors.Is(err, os.ErrNotExist) {
 		return nil, 0, nil
 	}

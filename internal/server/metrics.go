@@ -2,6 +2,7 @@ package server
 
 import (
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"gbkmv"
@@ -57,6 +58,19 @@ type Metrics struct {
 	walSynced   *obs.GaugeVec // collection: durable high-water mark
 	hashedTotal *obs.CounterVec
 	shrinkTotal *obs.CounterVec
+
+	// Storage-integrity families (see integrity.go): disk errors by write-path
+	// op, snapshot verification failures by detection stage (load / scrub /
+	// transfer), quarantined generations, scrub passes and failures, and the
+	// per-collection read-only gauge mirrored at scrape time. lastScrubNano
+	// backs the gbkmv_scrub_last_age_seconds gauge (-1 until the first pass).
+	diskErrors    *obs.CounterVec // op
+	verifyFails   *obs.CounterVec // collection, stage
+	quarantines   *obs.CounterVec // collection
+	scrubPasses   *obs.Counter
+	scrubFails    *obs.Counter
+	readOnlyG     *obs.GaugeVec // collection (scrape-time mirror)
+	lastScrubNano atomic.Int64
 
 	// endpoints caches endpointMetrics per (pattern, collection); reads are
 	// the no-allocation sync.Map fast path.
@@ -149,7 +163,29 @@ func newMetrics() *Metrics {
 			"collection"),
 		shrinkTotal: r.CounterVec("gbkmv_build_threshold_shrinks_total",
 			"Fixed-budget threshold shrinks performed.", "collection"),
+		diskErrors: r.CounterVec("gbkmv_disk_errors_total",
+			"Write-path disk errors, by operation.", "op"),
+		verifyFails: r.CounterVec("gbkmv_snapshot_verify_failures_total",
+			"Snapshot checksum verification failures, by detection stage (load, scrub, transfer).",
+			"collection", "stage"),
+		quarantines: r.CounterVec("gbkmv_quarantined_generations_total",
+			"Corrupt snapshot generations quarantined.", "collection"),
+		scrubPasses: r.Counter("gbkmv_scrub_passes_total",
+			"Completed background scrub passes."),
+		scrubFails: r.Counter("gbkmv_scrub_failures_total",
+			"Scrub passes that found a corrupt collection."),
+		readOnlyG: r.GaugeVec("gbkmv_storage_read_only",
+			"1 when the collection is in storage-degraded read-only mode.", "collection"),
 	}
+	r.GaugeFunc("gbkmv_scrub_last_age_seconds",
+		"Seconds since the last completed scrub pass (-1 before the first).",
+		func() float64 {
+			ns := m.lastScrubNano.Load()
+			if ns == 0 {
+				return -1
+			}
+			return time.Since(time.Unix(0, ns)).Seconds()
+		})
 	obs.RegisterRuntimeMetrics(r)
 	return m
 }
@@ -194,13 +230,16 @@ func (m *Metrics) removeCollection(name string) {
 		m.walBytes, m.walFrames, m.rollbacks, m.tornTails,
 		m.qcHits, m.qcMisses, m.qcEvictions,
 		m.candTotal, m.prunedTotal, m.estTotal, m.bufferAccepts,
-		m.hashedTotal, m.shrinkTotal, m.fencing,
+		m.hashedTotal, m.shrinkTotal, m.fencing, m.quarantines,
 	} {
 		v.Remove(name)
 	}
+	for _, stage := range []string{"load", "scrub", "transfer"} {
+		m.verifyFails.Remove(name, stage)
+	}
 	for _, v := range []*obs.GaugeVec{
 		m.replaySecs, m.qcEntries, m.collRecords, m.collGen,
-		m.journaled, m.walOffset, m.walSynced,
+		m.journaled, m.walOffset, m.walSynced, m.readOnlyG,
 	} {
 		v.Remove(name)
 	}
@@ -346,6 +385,11 @@ func (s *Store) mirrorCollections() {
 		c.mu.RUnlock()
 		m.collRecords.With(name).Set(float64(records))
 		m.collGen.With(name).Set(float64(c.queryGen.Load()))
+		var ro float64
+		if c.readOnly.Load() {
+			ro = 1
+		}
+		m.readOnlyG.With(name).Set(ro)
 		m.journaled.With(name).Set(float64(journaled))
 		m.qcEntries.With(name).Set(float64(entries))
 		if hasBuild {

@@ -160,7 +160,7 @@ func (s *Store) InstallReplica(name string) (*Collection, error) {
 	}
 	s.opMu.Lock()
 	defer s.opMu.Unlock()
-	c, err := loadCollection(dir)
+	c, err := loadCollection(s.fs, dir, s.logf)
 	if err != nil {
 		return nil, err
 	}

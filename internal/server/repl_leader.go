@@ -115,6 +115,13 @@ const (
 	// upstream's value plus one — the chain-depth gauge and a sanity signal
 	// for chained topologies.
 	hdrWALChainDepth = "X-Gbkmv-Chain-Depth"
+	// hdrFileSize / hdrFileCRC64 ride on repl/file snapshot responses: the
+	// committed generation's size and CRC64 for the served file, straight
+	// from the commit record. The follower verifies each transferred file
+	// against them on arrival — a truncated or corrupted transfer is retried
+	// per file instead of poisoning the whole bootstrap.
+	hdrFileSize  = "X-Gbkmv-File-Size"
+	hdrFileCRC64 = "X-Gbkmv-File-Crc64"
 )
 
 func (h *api) setWALHeaders(w http.ResponseWriter, gen uint64, synced int64, entries int) {
@@ -314,14 +321,14 @@ func (h *api) replFile(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, "repl/file: bad gen %q", q.Get("gen"))
 		return
 	}
-	var path string
+	var path, sumKey string
 	switch kind := q.Get("kind"); kind {
 	case "meta":
 		path = metaPath(c.dir)
 	case "index":
-		path = indexPath(c.dir, gen)
+		path, sumKey = indexPath(c.dir, gen), "index"
 	case "vocab":
-		path = vocabPath(c.dir, gen)
+		path, sumKey = vocabPath(c.dir, gen), "vocab"
 	default:
 		writeError(w, http.StatusBadRequest, "repl/file: bad kind %q (want meta, index or vocab)", kind)
 		return
@@ -348,6 +355,17 @@ func (h *api) replFile(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	h.setWALHeaders(w, st.gen, st.synced, st.entries)
+	if sumKey != "" {
+		// The committed checksum, not one recomputed here: a file rotted on
+		// the leader's own disk must fail the follower's verification rather
+		// than propagate with a fresh, matching sum.
+		if m, err := readMeta(h.store.fs, c.dir); err == nil && m.Generation == gen {
+			if sum, ok := m.Checksums[sumKey]; ok && !sum.zero() {
+				w.Header().Set(hdrFileSize, strconv.FormatInt(sum.Size, 10))
+				w.Header().Set(hdrFileCRC64, sum.CRC64)
+			}
+		}
+	}
 	w.Header().Set("Content-Type", "application/octet-stream")
 	w.Header().Set("Content-Length", strconv.FormatInt(fi.Size(), 10))
 	w.WriteHeader(http.StatusOK)

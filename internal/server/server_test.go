@@ -410,7 +410,8 @@ func doJSONBody(t *testing.T, ts *httptest.Server, method, path string) map[stri
 }
 
 // TestSnapshotEndpoint: an explicit snapshot bumps the generation, absorbs
-// the journal, and removes the previous generation's files.
+// the journal, retains the parent generation's files as the corruption
+// fallback target, and sweeps the grandparent.
 func TestSnapshotEndpoint(t *testing.T) {
 	dir := t.TempDir()
 	store, ts := newServer(t, dir)
@@ -426,14 +427,28 @@ func TestSnapshotEndpoint(t *testing.T) {
 		t.Fatalf("snapshot: %d %v", code, m)
 	}
 	cdir := filepath.Join(dir, "rest")
-	for _, stale := range []string{"index-1.snap", "vocab-1.snap", "journal-1.log"} {
-		if _, err := os.Stat(filepath.Join(cdir, stale)); !os.IsNotExist(err) {
-			t.Errorf("%s not removed after snapshot", stale)
-		}
-	}
-	for _, live := range []string{"meta.json", "index-2.snap", "vocab-2.snap", "journal-2.log"} {
+	// Generation 1 is generation 2's parent: its files are retained so a
+	// corrupt generation 2 can fall back, and meta-prev.json records it.
+	for _, live := range []string{"meta.json", "meta-prev.json",
+		"index-1.snap", "vocab-1.snap", "journal-1.log",
+		"index-2.snap", "vocab-2.snap", "journal-2.log"} {
 		if _, err := os.Stat(filepath.Join(cdir, live)); err != nil {
 			t.Errorf("%s missing after snapshot: %v", live, err)
+		}
+	}
+	// A second snapshot supersedes generation 1 entirely: generation 2 is
+	// the new parent, 1 is swept.
+	if code, m := doJSON(t, ts, "POST", "/collections/rest/snapshot", ""); code != http.StatusOK || m["generation"] != float64(3) {
+		t.Fatalf("second snapshot: %d %v", code, m)
+	}
+	for _, stale := range []string{"index-1.snap", "vocab-1.snap", "journal-1.log"} {
+		if _, err := os.Stat(filepath.Join(cdir, stale)); !os.IsNotExist(err) {
+			t.Errorf("%s not removed after second snapshot", stale)
+		}
+	}
+	for _, live := range []string{"index-2.snap", "vocab-2.snap", "journal-2.log"} {
+		if _, err := os.Stat(filepath.Join(cdir, live)); err != nil {
+			t.Errorf("parent generation file %s missing after second snapshot: %v", live, err)
 		}
 	}
 	// Journal after snapshot lands in the new generation and still replays.

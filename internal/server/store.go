@@ -1,6 +1,7 @@
 package server
 
 import (
+	"bytes"
 	"context"
 	"encoding/json"
 	"errors"
@@ -19,6 +20,7 @@ import (
 	"time"
 
 	"gbkmv"
+	"gbkmv/internal/fsx"
 )
 
 // Store errors surfaced to handlers.
@@ -49,6 +51,7 @@ func ValidName(name string) bool { return nameRE.MatchString(name) }
 // so concurrent PUTs to the same name cannot interleave their disk writes.
 type Store struct {
 	dir        string // data directory; "" disables persistence
+	fs         fsx.FS // filesystem the journal and snapshot paths go through
 	fileRoot   string // root for server-side file builds; "" disables them
 	defaultEng string // engine used when a build names none
 	cacheCap   int    // prepared-query cache entries per collection; 0 disables
@@ -78,10 +81,22 @@ type Store struct {
 	writeTimeoutNs   atomic.Int64
 	insertGate       atomic.Value // chan struct{} (buffered semaphore)
 
+	// Background storage-health loop (see integrity.go) and the bounded
+	// quarantine event log surfaced through /stats.
+	scrubMu              sync.Mutex
+	scrubStop, scrubDone chan struct{}
+	qmu                  sync.Mutex
+	quarantineLog        []QuarantineEvent
+
 	opMu sync.Mutex // serializes build/delete/snapshot/close (all disk mutation)
 	mu   sync.RWMutex
 	cols map[string]*Collection
 }
+
+// FS returns the filesystem the store's journal and snapshot paths go
+// through — the follower's bootstrap writes through it too, so disk-chaos
+// tests cover the transfer path.
+func (s *Store) FS() fsx.FS { return s.fs }
 
 // SetRequestTimeout bounds every request (except the deliberately
 // long-running replication endpoints) with a context deadline; handlers shed
@@ -126,10 +141,19 @@ func (s *Store) acquireInsertSlot() (release func(), ok bool) {
 // empty dir yields a memory-only store. Collections that fail to load are
 // skipped with a logged warning rather than failing startup.
 func NewStore(dir string, logf func(format string, args ...any)) (*Store, error) {
+	return NewStoreWithFS(dir, nil, logf)
+}
+
+// NewStoreWithFS is NewStore with an injected filesystem (nil means the real
+// one) — the entry point of the disk-chaos tests.
+func NewStoreWithFS(dir string, fsys fsx.FS, logf func(format string, args ...any)) (*Store, error) {
 	if logf == nil {
 		logf = log.Printf
 	}
-	s := &Store{dir: dir, defaultEng: gbkmv.DefaultEngine, cacheCap: DefaultQueryCacheEntries,
+	if fsys == nil {
+		fsys = fsx.Default
+	}
+	s := &Store{dir: dir, fs: fsys, defaultEng: gbkmv.DefaultEngine, cacheCap: DefaultQueryCacheEntries,
 		logf: logf, cols: make(map[string]*Collection)}
 	s.metrics = newMetrics()
 	s.metrics.reg.OnScrape(s.mirrorCollections)
@@ -137,10 +161,10 @@ func NewStore(dir string, logf func(format string, args ...any)) (*Store, error)
 		s.ready.Store(true)
 		return s, nil
 	}
-	if err := os.MkdirAll(dir, 0o755); err != nil {
+	if err := fsys.MkdirAll(dir, 0o755); err != nil {
 		return nil, err
 	}
-	entries, err := os.ReadDir(dir)
+	entries, err := fsys.ReadDir(dir)
 	if err != nil {
 		return nil, err
 	}
@@ -149,11 +173,14 @@ func NewStore(dir string, logf func(format string, args ...any)) (*Store, error)
 			continue
 		}
 		cdir := filepath.Join(dir, e.Name())
-		if _, err := os.Stat(filepath.Join(cdir, "meta.json")); err != nil {
+		if _, err := fsys.Stat(filepath.Join(cdir, "meta.json")); err != nil {
 			continue // not a collection directory
 		}
-		c, err := loadCollection(cdir)
+		c, err := loadCollection(fsys, cdir, s.logf)
 		if err != nil {
+			if errors.Is(err, errChecksum) {
+				s.metrics.verifyFails.With(e.Name(), "load").Inc()
+			}
 			s.logf("gbkmvd: skipping collection %q: %v", e.Name(), err)
 			continue
 		}
@@ -171,12 +198,22 @@ func NewStore(dir string, logf func(format string, args ...any)) (*Store, error)
 // cache is created around the registry's counters, and one-shot load
 // telemetry (replay duration, torn-tail recovery) is booked.
 func (s *Store) attach(c *Collection, cacheCap int) {
+	c.store = s
+	if c.fs == nil {
+		c.fs = s.fs
+	}
 	c.engName = c.eng.EngineName()
 	c.metrics = s.metrics.collMetricsFor(c.name)
 	c.qcache = newQueryCacheWith(cacheCap, c.metrics.qcHits, c.metrics.qcMisses, c.metrics.qcEvictions)
 	s.metrics.replaySecs.With(c.name).Set(c.replayDur.Seconds())
 	if c.tornTail {
 		s.metrics.tornTails.With(c.name).Inc()
+	}
+	if g := c.quarantinedGen.Load(); g != 0 {
+		// Load quarantined a corrupt generation and fell back; book the
+		// load-stage verification failure and the event.
+		s.metrics.verifyFails.With(c.name, "load").Inc()
+		s.noteQuarantine(c.name, g, "load", c.loadDetail)
 	}
 }
 
@@ -328,7 +365,7 @@ func (s *Store) Create(name string, voc *gbkmv.Vocabulary, eng gbkmv.Engine) (*C
 		// it. A meta.json that exists but cannot be read means the
 		// committed generation is unknown — abort rather than risk the
 		// failure path sweeping files the commit record still names.
-		switch m, err := readMeta(c.dir); {
+		switch m, err := readMeta(s.fs, c.dir); {
 		case err == nil:
 			c.gen = m.Generation
 		case errors.Is(err, os.ErrNotExist):
@@ -342,7 +379,7 @@ func (s *Store) Create(name string, voc *gbkmv.Vocabulary, eng gbkmv.Engine) (*C
 		}
 		committed := false
 		err := func() error {
-			if err := os.MkdirAll(c.dir, 0o755); err != nil {
+			if err := s.fs.MkdirAll(c.dir, 0o755); err != nil {
 				return err
 			}
 			var err error
@@ -351,11 +388,12 @@ func (s *Store) Create(name string, voc *gbkmv.Vocabulary, eng gbkmv.Engine) (*C
 		}()
 		if err != nil && !committed {
 			// The replacement never became visible; remove its aborted
-			// generation files (with no meta.json a fresh directory is
-			// never swept otherwise), and the old collection stays live,
-			// so give it its journal back or its inserts would 500
-			// forever.
-			sweepStaleGenerations(c.dir, c.gen)
+			// generation's files explicitly — the stale sweep deliberately
+			// never touches generations newer than the commit record, so
+			// the abort path must clean up after itself. The old collection
+			// stays live, so give it its journal back or its inserts would
+			// 500 forever.
+			removeGeneration(s.fs, c.dir, c.gen+1)
 			if old != nil {
 				if rerr := old.reopenJournal(); rerr != nil {
 					s.logf("gbkmvd: reopening journal of %q after failed replace: %v", name, rerr)
@@ -391,7 +429,7 @@ func (s *Store) Delete(name string) error {
 	c.closeJournal()
 	s.metrics.removeCollection(name)
 	if c.dir != "" {
-		return os.RemoveAll(c.dir)
+		return s.fs.RemoveAll(c.dir)
 	}
 	return nil
 }
@@ -428,6 +466,10 @@ func (s *Store) Snapshot(name string) (*Collection, error) {
 // restart replays its local journal instead, then resumes the stream from
 // its durable offset.
 func (s *Store) Close() error {
+	// Stop the background scrub/probe loop before taking opMu: a scrub pass
+	// mid-repair holds opMu through Snapshot, and waiting for it while
+	// holding the lock would deadlock.
+	s.StopScrubber()
 	s.opMu.Lock()
 	defer s.opMu.Unlock()
 	s.mu.Lock()
@@ -470,13 +512,29 @@ func (s *Store) Close() error {
 type Collection struct {
 	name string
 	dir  string // collection directory; "" when the store is memory-only
+	fs   fsx.FS // filesystem for journal/snapshot I/O; nil means the real one
 
 	// Observability wiring, set by Store.attach; all nil/zero (and therefore
 	// inert) for collections assembled outside a store, e.g. in unit tests.
-	metrics   *collMetrics  // resolved per-collection metric children
-	engName   string        // engine name, cached for the request trace
-	replayDur time.Duration // startup journal replay duration (load only)
-	tornTail  bool          // startup replay truncated a torn journal tail
+	store      *Store        // owning store, for disk-error/quarantine accounting
+	metrics    *collMetrics  // resolved per-collection metric children
+	engName    string        // engine name, cached for the request trace
+	replayDur  time.Duration // startup journal replay duration (load only)
+	tornTail   bool          // startup replay truncated a torn journal tail
+	loadDetail string        // why load quarantined a generation, for the event log
+
+	// Storage-integrity state (see integrity.go). derived records snapshot
+	// lineage: true when the in-memory state was produced from the on-disk
+	// committed generation (load, or any previous snapshot commit), so the
+	// next snapshot may name it as its Parent — the fallback target; false
+	// for a fresh build, whose snapshot supersedes everything on disk.
+	// readOnly flips on ENOSPC/EIO-class write failures; quarantinedGen is
+	// the corrupt generation detected at load or by the scrubber, cleared by
+	// the next committed snapshot.
+	derived        bool // guarded by mu
+	readOnly       atomic.Bool
+	roReason       atomic.Value // string
+	quarantinedGen atomic.Uint64
 
 	ioMu     sync.Mutex     // guards journal appends, closed, requests, commit.pending
 	journal  *journalWriter // inserts since the current snapshot; nil when dir == ""
@@ -639,6 +697,15 @@ type Hit struct {
 
 // Name returns the collection name.
 func (c *Collection) Name() string { return c.name }
+
+// fsys returns the collection's filesystem, defaulting to the real one for
+// collections assembled outside a store.
+func (c *Collection) fsys() fsx.FS {
+	if c.fs != nil {
+		return c.fs
+	}
+	return fsx.Default
+}
 
 // Engine returns the name of the engine backing the collection.
 func (c *Collection) Engine() string {
@@ -1093,6 +1160,7 @@ func (c *Collection) Insert(batch [][]string, requestID string) ([]int, error) {
 		return nil, encErr // errEntryTooLarge or a marshal failure: client-side, nothing written
 	}
 	if err := c.journal.appendFrames(frames); err != nil {
+		c.noteDiskError("journal_append", err)
 		err = fmt.Errorf("%w: journal append: %v", ErrStorage, err)
 		// The buffered writer is poisoned (sticky error): nothing after the
 		// partial write enters the stream. If a commit is in flight, its
@@ -1193,6 +1261,11 @@ func (c *Collection) commitGroup(g *commitGroup, holdIoMu bool) {
 		} else {
 			c.metrics.observeFsync(time.Since(syncStart))
 		}
+	}
+	if err != nil {
+		// ENOSPC/EIO here degrades the collection to read-only (writes shed,
+		// reads keep serving) until the storage probe sees the disk heal.
+		c.noteDiskError(strings.ReplaceAll(stage, " ", "_"), err)
 	}
 	if err == nil && !holdIoMu {
 		for _, b := range g.members {
@@ -1352,6 +1425,11 @@ type CollStats struct {
 	// collection.
 	Role        string     `json:"role,omitempty"`
 	Replication *ReplStats `json:"replication,omitempty"`
+
+	// Storage is the collection's storage-integrity posture (read-only mode,
+	// quarantined generation, recent quarantine events). Filled by the stats
+	// handler — the quarantine event log lives with the store.
+	Storage *StorageHealth `json:"storage,omitempty"`
 }
 
 // Stats returns the collection's current statistics.
@@ -1434,11 +1512,11 @@ func (c *Collection) reopenJournal() error {
 		return nil
 	}
 	path := journalPath(c.dir, c.gen)
-	fi, err := os.Stat(path)
+	fi, err := c.fsys().Stat(path)
 	if err != nil {
 		return err
 	}
-	jw, err := openJournalWriter(path, fi.Size())
+	jw, err := openJournalWriter(c.fsys(), path, fi.Size())
 	if err != nil {
 		return err
 	}
@@ -1462,6 +1540,17 @@ type meta struct {
 	Records    int            `json:"records"`
 	SavedAt    time.Time      `json:"saved_at"`
 	Requests   []requestEntry `json:"requests,omitempty"`
+	// Parent is the generation this snapshot was derived from (by journal
+	// replay on top of its state): the load-time fallback target when this
+	// generation's files turn out corrupt, and the one older generation the
+	// stale sweep retains. 0 means no ancestor — a fresh build, which
+	// supersedes everything on disk and can never fall back.
+	Parent uint64 `json:"parent,omitempty"`
+	// Checksums carries each snapshot file's exact size and CRC64 ("index",
+	// "vocab"), computed from the bytes as written. Verified at load, by the
+	// background scrubber, and by followers on bootstrap transfer. Commit
+	// records from before checksums existed load unverified.
+	Checksums map[string]fileSum `json:"checksums,omitempty"`
 }
 
 // requestEntry is one remembered insert request in the commit record: the
@@ -1472,7 +1561,8 @@ type requestEntry struct {
 	Count int    `json:"count"`
 }
 
-func metaPath(dir string) string { return filepath.Join(dir, "meta.json") }
+func metaPath(dir string) string     { return filepath.Join(dir, "meta.json") }
+func metaPrevPath(dir string) string { return filepath.Join(dir, "meta-prev.json") }
 func indexPath(dir string, gen uint64) string {
 	return filepath.Join(dir, fmt.Sprintf("index-%d.snap", gen))
 }
@@ -1483,40 +1573,72 @@ func journalPath(dir string, gen uint64) string {
 	return filepath.Join(dir, fmt.Sprintf("journal-%d.log", gen))
 }
 
-func readMeta(dir string) (meta, error) {
+func decodeMeta(b []byte, path string) (meta, error) {
 	var m meta
-	b, err := os.ReadFile(metaPath(dir))
-	if err != nil {
-		return m, err
-	}
 	if err := json.Unmarshal(b, &m); err != nil {
-		return m, fmt.Errorf("%s: %v", metaPath(dir), err)
+		return m, fmt.Errorf("%s: %v", path, err)
 	}
 	return m, nil
 }
 
-func writeFileSync(path string, write func(w io.Writer) error) error {
-	f, err := os.OpenFile(path, os.O_CREATE|os.O_TRUNC|os.O_WRONLY, 0o644)
-	if err != nil {
-		return err
+func readMeta(fsys fsx.FS, dir string) (meta, error) {
+	if fsys == nil {
+		fsys = fsx.Default
 	}
-	if err := write(f); err != nil {
+	b, err := fsys.ReadFile(metaPath(dir))
+	if err != nil {
+		return meta{}, err
+	}
+	return decodeMeta(b, metaPath(dir))
+}
+
+// readMetaPrev reads the retained previous commit record — the fallback
+// target a corrupt committed generation falls back to.
+func readMetaPrev(fsys fsx.FS, dir string) (meta, error) {
+	b, err := fsys.ReadFile(metaPrevPath(dir))
+	if err != nil {
+		return meta{}, err
+	}
+	return decodeMeta(b, metaPrevPath(dir))
+}
+
+// writeFileSync creates (truncating) path, runs write, fsyncs and closes,
+// returning the exact size and CRC64 of the bytes written — the commit
+// record's verification entry for the file.
+func writeFileSync(fsys fsx.FS, path string, write func(w io.Writer) error) (fileSum, error) {
+	if fsys == nil {
+		fsys = fsx.Default
+	}
+	f, err := fsys.OpenFile(path, os.O_CREATE|os.O_TRUNC|os.O_WRONLY, 0o644)
+	if err != nil {
+		return fileSum{}, err
+	}
+	cw := &countingWriter{w: f}
+	if err := write(cw); err != nil {
 		f.Close()
-		return err
+		return fileSum{}, err
 	}
 	if err := f.Sync(); err != nil {
 		f.Close()
-		return err
+		return fileSum{}, err
 	}
-	return f.Close()
+	return cw.sum(), f.Close()
 }
 
 // snapshot writes generation gen+1 (index, vocabulary, fresh journal),
 // commits it by atomically replacing meta.json, then swaps the live journal
-// and removes the previous generation's files. committed reports whether
-// the rename landed: a post-commit error (the directory fsync) leaves the
-// new generation visible on disk and the memory state already following
-// it, which callers must treat differently from a failed snapshot.
+// and sweeps superseded generations. committed reports whether the rename
+// landed: a post-commit error (the directory fsync) leaves the new
+// generation visible on disk and the memory state already following it,
+// which callers must treat differently from a failed snapshot.
+//
+// Integrity bookkeeping at commit: the record carries each file's size and
+// CRC64 (verified at load, scrub and bootstrap transfer) plus its Parent —
+// the generation the state was derived from. Derived snapshots retain their
+// parent's files and copy the superseded commit record to meta-prev.json,
+// so a later load that finds this generation corrupt can quarantine it and
+// fall back to the parent plus full journal replay. Fresh builds (Parent 0)
+// supersede everything: no fallback target is kept.
 //
 // Caller holds opMu and ioMu (or exclusively owns a not-yet-published
 // collection, as in Create): inserts are excluded for the whole duration by
@@ -1524,17 +1646,26 @@ func writeFileSync(path string, write func(w io.Writer) error) error {
 // searches keep running through the expensive part, and the write lock is
 // taken just for the field swap.
 func (c *Collection) snapshot() (committed bool, err error) {
+	fsys := c.fsys()
 	c.mu.RLock()
 	gen := c.gen + 1
+	parent := uint64(0)
+	if c.derived {
+		parent = c.gen
+	}
+	sums := make(map[string]fileSum, 2)
 	err = func() error {
-		if err := writeFileSync(indexPath(c.dir, gen), func(w io.Writer) error {
+		s, err := writeFileSync(fsys, indexPath(c.dir, gen), func(w io.Writer) error {
 			return gbkmv.SaveEngine(w, c.eng)
-		}); err != nil {
+		})
+		if err != nil {
 			return fmt.Errorf("writing index snapshot: %w", err)
 		}
-		if err := writeFileSync(vocabPath(c.dir, gen), c.voc.Save); err != nil {
+		sums["index"] = s
+		if s, err = writeFileSync(fsys, vocabPath(c.dir, gen), c.voc.Save); err != nil {
 			return fmt.Errorf("writing vocabulary snapshot: %w", err)
 		}
+		sums["vocab"] = s
 		return nil
 	}()
 	records := 0
@@ -1545,10 +1676,12 @@ func (c *Collection) snapshot() (committed bool, err error) {
 	}
 	c.mu.RUnlock()
 	if err != nil {
+		c.noteDiskError("snapshot", err)
 		return false, err
 	}
-	jw, err := openJournalWriter(journalPath(c.dir, gen), 0)
+	jw, err := openJournalWriter(fsys, journalPath(c.dir, gen), 0)
 	if err != nil {
+		c.noteDiskError("snapshot", err)
 		return false, fmt.Errorf("creating journal: %w", err)
 	}
 	// The request window rides in the commit record: the snapshot subsumes
@@ -1557,20 +1690,36 @@ func (c *Collection) snapshot() (committed bool, err error) {
 	// Caller quiesced inserts (syncMu + ioMu, or exclusive ownership), so
 	// the log is stable here.
 	reqs := c.requests.entries()
-	m := meta{Name: c.name, Engine: engine, Generation: gen, Records: records,
-		SavedAt: time.Now().UTC(), Requests: reqs}
+	m := meta{Name: c.name, Engine: engine, Generation: gen, Parent: parent,
+		Records: records, SavedAt: time.Now().UTC(), Requests: reqs, Checksums: sums}
 	b, err := json.MarshalIndent(m, "", "  ")
 	if err != nil {
 		jw.Close()
 		return false, err
 	}
+	if parent != 0 {
+		// Retain the fallback target: copy the commit record this snapshot
+		// supersedes to meta-prev.json before the rename replaces it. A
+		// failure here only loses the fallback breadcrumb, never the
+		// snapshot — but disk errors still count.
+		if pb, rerr := fsys.ReadFile(metaPath(c.dir)); rerr == nil {
+			if _, werr := writeFileSync(fsys, metaPrevPath(c.dir), func(w io.Writer) error {
+				_, err := w.Write(pb)
+				return err
+			}); werr != nil {
+				c.noteDiskError("snapshot", werr)
+			}
+		}
+	}
 	tmp := metaPath(c.dir) + ".tmp"
-	if err := writeFileSync(tmp, func(w io.Writer) error { _, err := w.Write(b); return err }); err != nil {
+	if _, err := writeFileSync(fsys, tmp, func(w io.Writer) error { _, err := w.Write(b); return err }); err != nil {
 		jw.Close()
+		c.noteDiskError("snapshot", err)
 		return false, err
 	}
-	if err := os.Rename(tmp, metaPath(c.dir)); err != nil {
+	if err := fsys.Rename(tmp, metaPath(c.dir)); err != nil {
 		jw.Close()
+		c.noteDiskError("snapshot", err)
 		return false, err
 	}
 	// The rename is the commit: once it lands, the visible disk state is
@@ -1593,74 +1742,74 @@ func (c *Collection) snapshot() (committed bool, err error) {
 	c.journal = jw
 	c.gen = gen
 	c.journaled = 0
+	c.derived = true
 	c.mu.Unlock()
+	// A committed snapshot wrote fresh verified files: any quarantined
+	// generation is now superseded (its files stay aside for forensics).
+	c.quarantinedGen.Store(0)
 	c.walChangedLocked()
-	// Make the commit durable before deleting the previous generation: a
+	// Make the commit durable before deleting superseded generations: a
 	// power loss must never persist the removals while losing the rename.
 	// On fsync failure, keep the old files and report the error.
-	if err := syncDir(c.dir); err != nil {
+	if err := fsys.SyncDir(c.dir); err != nil {
+		c.noteDiskError("dir_sync", err)
 		return true, fmt.Errorf("%w: syncing %s: %v", ErrStorage, c.dir, err)
 	}
-	if oldGen > 0 {
-		os.Remove(indexPath(c.dir, oldGen))
-		os.Remove(vocabPath(c.dir, oldGen))
-		os.Remove(journalPath(c.dir, oldGen))
+	if parent == 0 {
+		// Fresh build: the old lineage is gone, and so is its fallback
+		// record — a later fallback into pre-replacement data would
+		// resurrect deleted records.
+		fsys.Remove(metaPrevPath(c.dir))
 	}
+	sweepStaleGenerations(fsys, c.dir, m)
 	return true, nil
 }
 
-// syncDir fsyncs a directory, making renames and removals inside it
-// durable.
-func syncDir(dir string) error {
-	d, err := os.Open(dir)
-	if err != nil {
-		return err
-	}
-	syncErr := d.Sync()
-	closeErr := d.Close()
-	if syncErr != nil {
-		return syncErr
-	}
-	return closeErr
+// genState is the in-memory result of loading one generation's files: the
+// snapshot pair plus the replayed journal, before Collection assembly.
+type genState struct {
+	eng       gbkmv.Engine
+	voc       *gbkmv.Vocabulary
+	entries   []journalEntry
+	validLen  int64
+	tornTail  bool
+	requests  *requestLog
+	replayDur time.Duration
 }
 
-// loadCollection restores a collection from its directory: the committed
-// snapshot, then every intact journal entry replayed on top (re-interning
-// tokens in insert order reproduces the original element ids exactly).
-func loadCollection(dir string) (*Collection, error) {
-	m, err := readMeta(dir)
-	if err != nil {
-		return nil, err
-	}
-	f, err := os.Open(indexPath(dir, m.Generation))
+// loadGenFiles loads generation m.Generation's index, vocabulary and
+// journal, verifying the snapshot files against the commit record's
+// checksums (legacy records without checksums load unverified). A mismatch
+// surfaces as errChecksum; the caller decides whether to quarantine and
+// fall back.
+func loadGenFiles(fsys fsx.FS, dir string, m meta) (*genState, error) {
+	ib, err := readVerified(fsys, indexPath(dir, m.Generation), m.Checksums["index"])
 	if err != nil {
 		return nil, err
 	}
 	// LoadEngine dispatches on the snapshot's engine header; headerless
 	// snapshots from before engines existed load as the GB-KMV index.
-	eng, err := gbkmv.LoadEngine(f)
-	f.Close()
+	eng, err := gbkmv.LoadEngine(bytes.NewReader(ib))
 	if err != nil {
 		return nil, err
 	}
-	f, err = os.Open(vocabPath(dir, m.Generation))
+	vb, err := readVerified(fsys, vocabPath(dir, m.Generation), m.Checksums["vocab"])
 	if err != nil {
 		return nil, err
 	}
-	voc, err := gbkmv.LoadVocabulary(f)
-	f.Close()
+	voc, err := gbkmv.LoadVocabulary(bytes.NewReader(vb))
 	if err != nil {
 		return nil, err
 	}
 	replayStart := time.Now()
-	entries, validLen, err := replayJournal(journalPath(dir, m.Generation))
+	entries, validLen, err := replayJournal(fsys, journalPath(dir, m.Generation))
 	if err != nil {
 		return nil, err
 	}
 	// A torn tail — bytes past the last intact entry, left by a crash mid
 	// append — is detected here, before openJournalWriter truncates it away.
 	tornTail := false
-	if fi, err := os.Stat(journalPath(dir, m.Generation)); err == nil && fi.Size() > validLen {
+	if fi, err := fsys.Stat(journalPath(dir, m.Generation)); err == nil && fi.Size() > validLen {
 		tornTail = true
 	}
 	// Re-intern in entry order (reproducing the original ids), then apply
@@ -1684,30 +1833,155 @@ func loadCollection(dir string) (*Collection, error) {
 			requests.add(rid, base+i, j-i)
 		}
 	})
-	jw, err := openJournalWriter(journalPath(dir, m.Generation), validLen)
+	return &genState{eng: eng, voc: voc, entries: entries, validLen: validLen,
+		tornTail: tornTail, requests: requests, replayDur: time.Since(replayStart)}, nil
+}
+
+// loadCollection restores a collection from its directory: the committed
+// snapshot (verified against its checksums), then every intact journal
+// entry replayed on top (re-interning tokens in insert order reproduces the
+// original element ids exactly). If the committed generation's files are
+// corrupt, it quarantines them and falls back to the retained parent
+// generation plus full journal replay (fallbackLoad).
+func loadCollection(fsys fsx.FS, dir string, logf func(string, ...any)) (*Collection, error) {
+	if fsys == nil {
+		fsys = fsx.Default
+	}
+	m, err := readMeta(fsys, dir)
 	if err != nil {
 		return nil, err
 	}
-	sweepStaleGenerations(dir, m.Generation)
+	st, lerr := loadGenFiles(fsys, dir, m)
+	if lerr != nil {
+		return fallbackLoad(fsys, dir, m, lerr, logf)
+	}
+	jw, err := openJournalWriter(fsys, journalPath(dir, m.Generation), st.validLen)
+	if err != nil {
+		return nil, err
+	}
+	sweepStaleGenerations(fsys, dir, m)
 	return &Collection{
 		name:      m.Name,
 		dir:       dir,
-		voc:       voc,
-		eng:       eng,
+		fs:        fsys,
+		voc:       st.voc,
+		eng:       st.eng,
 		gen:       m.Generation,
+		derived:   true,
 		journal:   jw,
-		journaled: len(entries),
-		requests:  requests,
-		replayDur: time.Since(replayStart),
-		tornTail:  tornTail,
+		journaled: len(st.entries),
+		requests:  st.requests,
+		replayDur: st.replayDur,
+		tornTail:  st.tornTail,
 	}, nil
 }
 
-// sweepStaleGenerations removes snapshot/journal files of any generation
-// other than the committed one — orphans left by a crash between a
-// snapshot's commit and its cleanup, or by an aborted snapshot attempt.
-func sweepStaleGenerations(dir string, keep uint64) {
-	entries, err := os.ReadDir(dir)
+// fallbackLoad recovers a collection whose committed generation G failed to
+// load (lerr): it quarantines G's snapshot files and reconstructs the same
+// state from the retained parent generation P plus replay. Correctness
+// rests on two invariants: journal-P is final after the snapshot that
+// produced G (so P's snapshot + full journal-P replay reproduces exactly
+// the state G captured), and sweepStaleGenerations never removes the parent
+// generation's files. The collection keeps generation G (meta.json still
+// names it, journal-G stays live), so a restart that finds G still corrupt
+// simply falls back again.
+func fallbackLoad(fsys fsx.FS, dir string, m meta, lerr error, logf func(string, ...any)) (*Collection, error) {
+	if m.Parent == 0 {
+		// Fresh build (or pre-lineage record): nothing retained to fall
+		// back to.
+		return nil, lerr
+	}
+	prev, err := readMetaPrev(fsys, dir)
+	if err != nil || prev.Generation != m.Parent {
+		return nil, lerr
+	}
+	if logf != nil {
+		logf("collection %s: generation %d corrupt (%v), falling back to generation %d",
+			m.Name, m.Generation, lerr, m.Parent)
+	}
+	// Quarantine before reloading: the corrupt files move aside (never
+	// swept, kept for forensics), while journal-G stays in place — its
+	// entries are replayed below and future inserts append to it.
+	if err := quarantineGeneration(fsys, dir, m.Generation); err != nil {
+		return nil, fmt.Errorf("generation %d corrupt (%v) and quarantine failed: %w", m.Generation, lerr, err)
+	}
+	st, err := loadGenFiles(fsys, dir, prev)
+	if err != nil {
+		return nil, fmt.Errorf("generation %d corrupt (%v) and fallback to %d failed: %w",
+			m.Generation, lerr, m.Parent, err)
+	}
+	// Replay journal-G on top of the reconstructed snapshot state. Interior
+	// corruption in journal-G is a hard error (replayJournal); a torn tail
+	// is fine — those entries were never acknowledged.
+	replayStart := time.Now()
+	entries, validLen, err := replayJournal(fsys, journalPath(dir, m.Generation))
+	if err != nil {
+		return nil, fmt.Errorf("generation %d corrupt (%v) and its journal replay failed: %w",
+			m.Generation, lerr, err)
+	}
+	base := st.eng.Len()
+	recs := make([]gbkmv.Record, len(entries))
+	for i, e := range entries {
+		recs[i] = st.voc.Record(e.Tokens)
+	}
+	st.eng.AddBatch(recs)
+	// The request window persisted at snapshot G is authoritative for
+	// everything up to the snapshot (it subsumes prev's window plus
+	// journal-P's runs); journal-G's runs land on top.
+	requests := newRequestLog()
+	for _, r := range m.Requests {
+		requests.add(r.ID, r.First, r.Count)
+	}
+	forEachRidRun(entries, func(i, j int, rid string) {
+		if rid != "" {
+			requests.add(rid, base+i, j-i)
+		}
+	})
+	jw, err := openJournalWriter(fsys, journalPath(dir, m.Generation), validLen)
+	if err != nil {
+		return nil, err
+	}
+	c := &Collection{
+		name:       m.Name,
+		dir:        dir,
+		fs:         fsys,
+		voc:        st.voc,
+		eng:        st.eng,
+		gen:        m.Generation,
+		derived:    true,
+		journal:    jw,
+		journaled:  len(entries),
+		requests:   requests,
+		replayDur:  st.replayDur + time.Since(replayStart),
+		tornTail:   st.tornTail,
+		loadDetail: lerr.Error(),
+	}
+	c.quarantinedGen.Store(m.Generation)
+	sweepStaleGenerations(fsys, dir, m)
+	return c, nil
+}
+
+// removeGeneration deletes one generation's snapshot and journal files —
+// the abort path of a failed Create, which owns the not-yet-committed
+// generation outright.
+func removeGeneration(fsys fsx.FS, dir string, gen uint64) {
+	fsys.Remove(indexPath(dir, gen))
+	fsys.Remove(vocabPath(dir, gen))
+	fsys.Remove(journalPath(dir, gen))
+}
+
+// sweepStaleGenerations removes snapshot/journal files of superseded
+// generations — orphans left by a crash between a snapshot's commit and
+// its cleanup, or by an aborted snapshot attempt. The invariant, relied on
+// by fallbackLoad and tested in integrity_test.go: only generations
+// *strictly older* than the committed one are stale, and even then the
+// committed record's Parent generation is retained (it is the fallback
+// target if the committed files turn out corrupt). Anything newer than the
+// committed generation belongs to an in-flight snapshot attempt and is
+// left alone (the next attempt reopens it with O_TRUNC); directories —
+// including quarantine-<gen>/ — are never touched.
+func sweepStaleGenerations(fsys fsx.FS, dir string, m meta) {
+	entries, err := fsys.ReadDir(dir)
 	if err != nil {
 		return
 	}
@@ -1715,19 +1989,21 @@ func sweepStaleGenerations(dir string, keep uint64) {
 	for _, e := range entries {
 		name := e.Name()
 		switch {
-		case name == "meta.json":
+		case e.IsDir():
+			continue // quarantine dirs and anything else — never ours to sweep
+		case name == "meta.json" || name == "meta-prev.json":
 			continue
 		case strings.HasSuffix(name, ".tmp"):
 		case parseGen(name, "index-", ".snap", &gen),
 			parseGen(name, "vocab-", ".snap", &gen),
 			parseGen(name, "journal-", ".log", &gen):
-			if gen == keep {
+			if gen >= m.Generation || gen == m.Parent {
 				continue
 			}
 		default:
 			continue // not ours
 		}
-		os.Remove(filepath.Join(dir, name))
+		fsys.Remove(filepath.Join(dir, name))
 	}
 }
 
