@@ -46,6 +46,7 @@ import (
 	"net/http/pprof"
 	"os"
 	"os/signal"
+	"runtime"
 	"strings"
 	"syscall"
 	"time"
@@ -60,6 +61,7 @@ func main() {
 		addr        = flag.String("addr", ":7878", "HTTP listen address")
 		dataDir     = flag.String("data", "./gbkmvd-data", "data directory for snapshots and journals; empty disables persistence")
 		engine      = flag.String("engine", gbkmv.DefaultEngine, "default sketch engine for builds that name none (one of: "+strings.Join(gbkmv.Engines(), ", ")+")")
+		segments    = flag.Int("segments", runtime.GOMAXPROCS(0), "default segment count for builds that leave options.segments at 0: collections shard across this many sub-indexes for multicore inserts and parallel search fan-out (1 = single-index; ignored with -follow, where snapshot bytes must track the leader)")
 		recordFiles = flag.String("record-files", "", "directory server-side record files may be built from; empty disables file builds")
 		queryCache  = flag.Int("query-cache", server.DefaultQueryCacheEntries, "prepared-query cache entries per collection; 0 disables caching")
 		grace       = flag.Duration("grace", 10*time.Second, "graceful shutdown timeout")
@@ -86,8 +88,22 @@ func main() {
 	if *follow != "" && *dataDir == "" {
 		log.Fatalf("gbkmvd: -follow requires -data (replicated state must be durable to resume after a restart)")
 	}
+	if *segments < 1 {
+		log.Fatalf("gbkmvd: -segments must be >= 1, got %d", *segments)
+	}
+	defaultSegments := *segments
+	if *follow != "" {
+		// A follower's snapshots are byte-copies of the leader's; resharding
+		// locally would fork the on-disk lineage the bootstrap protocol
+		// compares. Followers inherit segmentation through the transferred
+		// snapshots instead.
+		defaultSegments = 0
+	}
 
-	store, err := server.NewStore(*dataDir, log.Printf)
+	store, err := server.OpenStore(*dataDir, server.StoreOptions{
+		Logf:     log.Printf,
+		Segments: defaultSegments,
+	})
 	if err != nil {
 		log.Fatalf("gbkmvd: opening store: %v", err)
 	}

@@ -115,7 +115,7 @@ func runFailoverDrill(records [][]string, coll string, rounds int, roundDur, pro
 		log.Printf("drill: %v", err)
 		return 1
 	}
-	if err := buildCollection(client, leader.ts.URL+"/collections/"+coll, records[:seedN]); err != nil {
+	if err := buildCollection(client, leader.ts.URL+"/collections/"+coll, records[:seedN], 0); err != nil {
 		log.Printf("drill: building %s: %v", coll, err)
 		return 1
 	}

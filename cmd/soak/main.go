@@ -74,6 +74,7 @@ func main() {
 		batchSize  = flag.Int("batch", 16, "queries per batch search")
 		threshold  = flag.Float64("threshold", 0.5, "containment threshold for searches")
 		seed       = flag.Int64("seed", 1, "workload RNG seed")
+		segments   = flag.Int("segments", 0, "collection segment count: >1 runs the workload twice in one invocation — a fresh build at options.segments=1, then at options.segments=N — printing both latency tables for comparison; 1 pins a single segment; 0 (default) leaves it to the daemon")
 
 		failoverDrill = flag.Bool("failover-drill", false, "run the in-process failover drill instead of the networked workload (kills leaders, measures promotion time and read availability)")
 		scrubDrill    = flag.Bool("scrub", false, "run the in-process scrub drill instead of the networked workload (bit-flips a committed snapshot under live reads, requires detection, quarantine, self-repair and unbroken read availability)")
@@ -133,109 +134,128 @@ func main() {
 			log.Fatalf("soak: -read-addrs parsed to no nodes")
 		}
 	}
-	if err := buildCollection(client, base, records[:*seedN]); err != nil {
-		log.Fatalf("soak: building %s: %v", *coll, err)
-	}
-	log.Printf("soak: built %s with %d seed records; running %d clients for %s (reads across %d nodes)",
-		*coll, *seedN, *clients, *duration, len(readNodes))
-
-	// inserted is the high-water mark of records visible to searches; next
-	// hands out insert records. Both start past the seed set.
-	var inserted, next atomic.Int64
-	inserted.Store(int64(*seedN))
-	next.Store(int64(*seedN))
-
-	// Latency histograms are per node per op, so a lagging or overloaded
-	// replica shows up as its own row instead of blurring the aggregate.
-	// Writes always hit node 0's slot of the leader; reads use the chosen
-	// read node's slot.
-	nodeHist := func() map[string]*[numOps]*obs.Histogram {
-		m := make(map[string]*[numOps]*obs.Histogram, len(readNodes)+1)
-		for _, n := range append([]string{leader}, readNodes...) {
-			if _, ok := m[n]; ok {
-				continue
-			}
-			var hs [numOps]*obs.Histogram
-			for i := range hs {
-				hs[i] = obs.NewHistogram(obs.LatencyBuckets)
-			}
-			m[n] = &hs
+	// runPhase builds the collection fresh at one segment count (0 leaves the
+	// choice to the daemon) and drives the mixed workload against it for the
+	// full -duration, printing its latency table under the phase label.
+	runPhase := func(label string, segs int) {
+		if err := buildCollection(client, base, records[:*seedN], segs); err != nil {
+			log.Fatalf("soak: building %s: %v", *coll, err)
 		}
-		return m
-	}()
-	var errs, rr atomic.Int64
+		log.Printf("soak: built %s with %d seed records (%s); running %d clients for %s (reads across %d nodes)",
+			*coll, *seedN, label, *clients, *duration, len(readNodes))
 
-	deadline := time.Now().Add(*duration)
-	var wg sync.WaitGroup
-	for w := 0; w < *clients; w++ {
-		wg.Add(1)
-		go func(w int) {
-			defer wg.Done()
-			rng := rand.New(rand.NewSource(*seed + int64(w)))
-			for time.Now().Before(deadline) {
-				op := opSearch
-				switch p := rng.Float64(); {
-				case p < *insertFrac:
-					op = opInsert
-				case p < *insertFrac+*batchFrac:
-					op = opBatch
+		// inserted is the high-water mark of records visible to searches; next
+		// hands out insert records. Both start past the seed set.
+		var inserted, next atomic.Int64
+		inserted.Store(int64(*seedN))
+		next.Store(int64(*seedN))
+
+		// Latency histograms are per node per op, so a lagging or overloaded
+		// replica shows up as its own row instead of blurring the aggregate.
+		// Writes always hit node 0's slot of the leader; reads use the chosen
+		// read node's slot.
+		nodeHist := func() map[string]*[numOps]*obs.Histogram {
+			m := make(map[string]*[numOps]*obs.Histogram, len(readNodes)+1)
+			for _, n := range append([]string{leader}, readNodes...) {
+				if _, ok := m[n]; ok {
+					continue
 				}
-				node := leader
-				if op != opInsert {
-					node = readNodes[int(rr.Add(1)-1)%len(readNodes)]
+				var hs [numOps]*obs.Histogram
+				for i := range hs {
+					hs[i] = obs.NewHistogram(obs.LatencyBuckets)
 				}
-				nodeBase := node + "/collections/" + *coll
-				start := time.Now()
-				var err error
-				switch op {
-				case opInsert:
-					i := next.Add(1) - 1
-					if int(i) >= len(records) {
-						op = opSearch // stream exhausted: degrade to searches
+				m[n] = &hs
+			}
+			return m
+		}()
+		var errs, rr atomic.Int64
+
+		deadline := time.Now().Add(*duration)
+		var wg sync.WaitGroup
+		for w := 0; w < *clients; w++ {
+			wg.Add(1)
+			go func(w int) {
+				defer wg.Done()
+				rng := rand.New(rand.NewSource(*seed + int64(w)))
+				for time.Now().Before(deadline) {
+					op := opSearch
+					switch p := rng.Float64(); {
+					case p < *insertFrac:
+						op = opInsert
+					case p < *insertFrac+*batchFrac:
+						op = opBatch
+					}
+					node := leader
+					if op != opInsert {
 						node = readNodes[int(rr.Add(1)-1)%len(readNodes)]
-						nodeBase = node + "/collections/" + *coll
+					}
+					nodeBase := node + "/collections/" + *coll
+					start := time.Now()
+					var err error
+					switch op {
+					case opInsert:
+						i := next.Add(1) - 1
+						if int(i) >= len(records) {
+							op = opSearch // stream exhausted: degrade to searches
+							node = readNodes[int(rr.Add(1)-1)%len(readNodes)]
+							nodeBase = node + "/collections/" + *coll
+							err = doSearch(client, nodeBase, records, &inserted, rng, *threshold)
+							break
+						}
+						err = doInsert(client, nodeBase, records[i])
+						if err == nil {
+							// Visible only after acknowledgement; monotonic is
+							// enough for query sampling.
+							inserted.Store(i + 1)
+						}
+					case opSearch:
 						err = doSearch(client, nodeBase, records, &inserted, rng, *threshold)
-						break
+					case opBatch:
+						err = doBatch(client, nodeBase, records, &inserted, rng, *threshold, *batchSize)
 					}
-					err = doInsert(client, nodeBase, records[i])
-					if err == nil {
-						// Visible only after acknowledgement; monotonic is
-						// enough for query sampling.
-						inserted.Store(i + 1)
+					nodeHist[node][op].Observe(time.Since(start).Seconds())
+					if err != nil {
+						errs.Add(1)
 					}
-				case opSearch:
-					err = doSearch(client, nodeBase, records, &inserted, rng, *threshold)
-				case opBatch:
-					err = doBatch(client, nodeBase, records, &inserted, rng, *threshold, *batchSize)
 				}
-				nodeHist[node][op].Observe(time.Since(start).Seconds())
-				if err != nil {
-					errs.Add(1)
-				}
-			}
-		}(w)
-	}
-	wg.Wait()
+			}(w)
+		}
+		wg.Wait()
 
-	fmt.Printf("\n%-28s %-13s %10s %10s %10s %10s\n", "node", "op", "count", "p50", "p95", "p99")
-	printNode := func(node string) {
-		for i, h := range nodeHist[node] {
-			s := h.Snapshot()
-			if s.Count == 0 {
-				continue
+		fmt.Printf("\n[%s]\n%-28s %-13s %10s %10s %10s %10s\n", label, "node", "op", "count", "p50", "p95", "p99")
+		printNode := func(node string) {
+			for i, h := range nodeHist[node] {
+				s := h.Snapshot()
+				if s.Count == 0 {
+					continue
+				}
+				fmt.Printf("%-28s %-13s %10d %10s %10s %10s\n", node, opNames[i], s.Count,
+					fmtSecs(s.Quantile(0.5)), fmtSecs(s.Quantile(0.95)), fmtSecs(s.Quantile(0.99)))
 			}
-			fmt.Printf("%-28s %-13s %10d %10s %10s %10s\n", node, opNames[i], s.Count,
-				fmtSecs(s.Quantile(0.5)), fmtSecs(s.Quantile(0.95)), fmtSecs(s.Quantile(0.99)))
+		}
+		printNode(leader)
+		for _, n := range readNodes {
+			if n != leader {
+				printNode(n)
+			}
+		}
+		if n := errs.Load(); n > 0 {
+			fmt.Printf("errors: %d\n", n)
 		}
 	}
-	printNode(leader)
-	for _, n := range readNodes {
-		if n != leader {
-			printNode(n)
+
+	if *segments > 1 {
+		// A/B the segmentation win in one invocation: identical workload,
+		// fresh build each phase, single-index first so its table prints as
+		// the baseline.
+		runPhase("segments=1", 1)
+		runPhase(fmt.Sprintf("segments=%d", *segments), *segments)
+	} else {
+		label := "daemon-default segments"
+		if *segments == 1 {
+			label = "segments=1"
 		}
-	}
-	if n := errs.Load(); n > 0 {
-		fmt.Printf("errors: %d\n", n)
+		runPhase(label, *segments)
 	}
 	printReplicaLag(client, readNodes, leader, *coll)
 	printServerMetrics(client, leader+"/metrics", *coll)
@@ -281,8 +301,12 @@ func post(client *http.Client, method, url string, body any) error {
 	return nil
 }
 
-func buildCollection(client *http.Client, base string, records [][]string) error {
-	return post(client, http.MethodPut, base, map[string]any{"records": records})
+func buildCollection(client *http.Client, base string, records [][]string, segments int) error {
+	body := map[string]any{"records": records}
+	if segments > 0 {
+		body["options"] = map[string]any{"segments": segments}
+	}
+	return post(client, http.MethodPut, base, body)
 }
 
 func doInsert(client *http.Client, base string, tokens []string) error {

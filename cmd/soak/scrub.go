@@ -45,7 +45,7 @@ func runScrubDrill(records [][]string, coll string, dur time.Duration, threshold
 	defer node.store.Close()
 	defer node.ts.Close()
 	base := node.ts.URL + "/collections/" + coll
-	if err := buildCollection(client, base, records[:seedN]); err != nil {
+	if err := buildCollection(client, base, records[:seedN], 0); err != nil {
 		log.Printf("scrub drill: building %s: %v", coll, err)
 		return 1
 	}

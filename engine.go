@@ -252,8 +252,12 @@ var engineMagic = []byte("GBKMVENG")
 const engineHeaderVersion = 1
 
 // SaveEngine serializes the engine with the self-describing header that
-// LoadEngine dispatches on.
+// LoadEngine dispatches on. A Segmented engine writes its own container
+// format (its magic replaces the single-engine header).
 func SaveEngine(w io.Writer, e Engine) error {
+	if s, ok := e.(*Segmented); ok {
+		return s.Save(w)
+	}
 	name := e.EngineName()
 	if len(name) == 0 || len(name) > 255 {
 		return fmt.Errorf("gbkmv: engine name %q not serializable", name)
@@ -277,6 +281,9 @@ func LoadEngine(r io.Reader) (Engine, error) {
 	n, err := io.ReadFull(r, head)
 	if err != nil && !errors.Is(err, io.ErrUnexpectedEOF) && !errors.Is(err, io.EOF) {
 		return nil, fmt.Errorf("gbkmv: reading engine header: %w", err)
+	}
+	if n == len(segmentedMagic) && bytes.Equal(head[:n], segmentedMagic) {
+		return loadSegmented(r)
 	}
 	if n < len(engineMagic) || !bytes.Equal(head[:n], engineMagic) {
 		// Legacy headerless snapshot: a bare GB-KMV index.

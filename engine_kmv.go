@@ -16,6 +16,15 @@ import (
 
 func init() {
 	Register("kmv", buildKMVEngine, rebuildLoader("kmv"))
+	// Segmented collections must pin k against the whole collection before
+	// the per-segment split, or each segment would derive its own k from its
+	// own records and per-segment estimates would not be comparable.
+	registerSegmentPinner("kmv", func(records []Record, opt EngineOptions) EngineOptions {
+		if opt.NumHashes <= 0 {
+			opt.NumHashes = kmv.EqualAllocation(opt.budget(totalElements(records)), len(records))
+		}
+		return opt
+	})
 }
 
 type kmvEngine struct {
@@ -116,6 +125,15 @@ func (e *kmvEngine) EngineStats() EngineStats {
 		UsedUnits:   used,
 		NumHashes:   e.k,
 	}
+}
+
+// engineOptions reports the resolved build options (k and budget pinned),
+// so resharding rebuilds the same sketches the snapshot would restore.
+func (e *kmvEngine) engineOptions() EngineOptions {
+	opt := e.opt
+	opt.NumHashes = e.k
+	opt.BudgetUnits = e.budget
+	return opt
 }
 
 // Save pins the *resolved* parameters (k, budget) into the stored options:

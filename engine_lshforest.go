@@ -180,4 +180,6 @@ func (e *lshforestEngine) EngineStats() EngineStats {
 	}
 }
 
+func (e *lshforestEngine) engineOptions() EngineOptions { return e.opt }
+
 func (e *lshforestEngine) Save(w io.Writer) error { return saveRebuildable(w, e.opt, e.records) }

@@ -16,6 +16,12 @@ import (
 
 func init() {
 	Register("minhash", buildMinhashEngine, rebuildLoader("minhash"))
+	// Pin the signature length against the whole collection before the
+	// per-segment split (see the kmv pinner).
+	registerSegmentPinner("minhash", func(records []Record, opt EngineOptions) EngineOptions {
+		opt.NumHashes, _ = minhashK(opt, records)
+		return opt
+	})
 }
 
 type minhashEngine struct {
@@ -126,6 +132,15 @@ func (e *minhashEngine) EngineStats() EngineStats {
 		UsedUnits:   e.k * len(e.records),
 		NumHashes:   e.k,
 	}
+}
+
+// engineOptions reports the resolved build options (k and budget pinned),
+// so resharding rebuilds the signatures the snapshot would restore.
+func (e *minhashEngine) engineOptions() EngineOptions {
+	opt := e.opt
+	opt.NumHashes = e.k
+	opt.BudgetUnits = e.budget
+	return opt
 }
 
 // Save pins the resolved (k, budget) into the stored options, exactly like

@@ -180,6 +180,9 @@ func (ix *Index) BufferElements() []hash.Element { return ix.bufferElems }
 // BudgetUnits returns the construction budget in signature units.
 func (ix *Index) BudgetUnits() int { return ix.budget }
 
+// Seed returns the hash seed the index was built with.
+func (ix *Index) Seed() uint64 { return ix.opt.Seed }
+
 // UsedUnits returns the number of budget units actually consumed: one per
 // stored hash value plus r/32 per record. O(1): the arena length is the
 // stored-hash total, so the per-insert budget check does not scan the

@@ -1,0 +1,94 @@
+package repl
+
+import (
+	"bytes"
+	"context"
+	"net/http"
+	"reflect"
+	"testing"
+	"time"
+)
+
+// segmentedCorpus builds the leader's segmented collection: explicit
+// options.segments, generous budget so the gbkmv estimates stay exact and
+// result equality is sharp.
+const segmentedCorpus = `{
+	"records": [
+		["five", "guys", "burgers", "and", "fries"],
+		["five", "kitchen", "berkeley"],
+		["in", "n", "out", "burgers"],
+		["burgers", "and", "more", "burgers"]
+	],
+	"options": {"budget_units": 100000, "buffer_bits": 64, "segments": 4}
+}`
+
+// TestFollowerOfSegmentedLeader replicates a segmented collection end to
+// end: the follower bootstraps from the leader's segmented snapshot, tails
+// live inserts to zero lag, serves byte-equal search results, and its
+// journal is byte-identical to the leader's — segmentation must not perturb
+// the replication contract, because journal order (not segment routing)
+// defines the record-id order both sides apply.
+func TestFollowerOfSegmentedLeader(t *testing.T) {
+	ldir := t.TempDir()
+	leader := startNode(t, ldir)
+	if code, m := leader.doJSON(t, "PUT", "/collections/c", segmentedCorpus); code != http.StatusOK {
+		t.Fatalf("build: %d %v", code, m)
+	}
+	// Sanity: the leader really is segmented.
+	_, ls := leader.doJSON(t, "GET", "/collections/c/stats", "")
+	seg, _ := ls["segments"].(map[string]any)
+	if seg == nil || num(seg, "count") != 4 {
+		t.Fatalf("leader segments = %v, want count 4", seg)
+	}
+
+	fdir := t.TempDir()
+	fnode := startNode(t, fdir)
+	f := newFollower(t, fnode, leader.ts.URL)
+	f.Start(context.Background())
+
+	// Live inserts while the follower tails: their applies fan out across
+	// the leader's segments, but the journal frames they ship are ordered.
+	insertMany(t, leader, "c", 2000)
+	waitFor(t, 60*time.Second, "follower to catch up", func() bool {
+		return caughtUp(leader, fnode, "c")
+	})
+
+	// The transferred snapshot is the leader's segmented snapshot verbatim,
+	// so the follower's collection is segmented too — without any local
+	// -segments configuration.
+	_, fs := fnode.doJSON(t, "GET", "/collections/c/stats", "")
+	fseg, _ := fs["segments"].(map[string]any)
+	if fseg == nil || num(fseg, "count") != 4 {
+		t.Fatalf("follower segments = %v, want count 4", fseg)
+	}
+	if num(ls, "num_records")+2000 != num(fs, "num_records") {
+		t.Fatalf("follower records = %v, want %v", fs["num_records"], num(ls, "num_records")+2000)
+	}
+
+	// Search equality: identical engine state means identical hits, scores
+	// and totals, not merely equal counts.
+	for _, q := range []string{
+		`{"query": ["bulk"], "threshold": 0.9, "limit": 40}`,
+		`{"query": ["five", "guys"], "threshold": 0.5, "limit": 40}`,
+		`{"query": ["burgers"], "threshold": 0.3, "limit": 40}`,
+	} {
+		_, lm := leader.doJSON(t, "POST", "/collections/c/search", q)
+		_, fm := fnode.doJSON(t, "POST", "/collections/c/search", q)
+		if !reflect.DeepEqual(lm["results"], fm["results"]) || lm["total"] != fm["total"] {
+			t.Fatalf("search %s diverges:\nleader   %v (total %v)\nfollower %v (total %v)",
+				q, lm["results"], lm["total"], fm["results"], fm["total"])
+		}
+	}
+	_, lk := leader.doJSON(t, "POST", "/collections/c/topk", `{"query": ["bulk"], "k": 10}`)
+	_, fk := fnode.doJSON(t, "POST", "/collections/c/topk", `{"query": ["bulk"], "k": 10}`)
+	if !reflect.DeepEqual(lk["results"], fk["results"]) {
+		t.Fatalf("topk diverges:\nleader   %v\nfollower %v", lk["results"], fk["results"])
+	}
+
+	// Byte-identical journals: the follower's WAL is the leader's, shipped.
+	lj := journalBytes(t, ldir, "c", 1)
+	fj := journalBytes(t, fdir, "c", 1)
+	if !bytes.Equal(lj, fj) {
+		t.Fatalf("journals differ: leader %d bytes, follower %d bytes", len(lj), len(fj))
+	}
+}

@@ -213,6 +213,11 @@ type buildOptions struct {
 	// NumPartitions is the LSH Ensemble partition count; 0 selects the
 	// default (32).
 	NumPartitions int `json:"num_partitions"`
+	// Segments shards the collection across this many independent sub-indexes
+	// (parallel insert apply and search fan-out, bounded per-segment snapshot
+	// pauses). 0 uses the store's default (the daemon's -segments flag; plain
+	// OpenStore defaults to unsegmented); negative rejects.
+	Segments int `json:"segments"`
 }
 
 type buildRequest struct {
@@ -292,14 +297,29 @@ func (h *api) build(w http.ResponseWriter, r *http.Request) {
 	if engine == "" {
 		engine = h.store.DefaultEngine()
 	}
-	eng, err := gbkmv.NewEngine(engine, records, gbkmv.EngineOptions{
+	segments := req.Options.Segments
+	if segments < 0 {
+		writeError(w, http.StatusBadRequest, "options.segments must be >= 0, got %d", segments)
+		return
+	}
+	if segments == 0 {
+		segments = h.store.DefaultSegments()
+	}
+	opts := gbkmv.EngineOptions{
 		BudgetFraction: req.Options.BudgetFraction,
 		BudgetUnits:    req.Options.BudgetUnits,
 		BufferBits:     req.Options.BufferBits,
 		Seed:           req.Options.Seed,
 		NumHashes:      req.Options.NumHashes,
 		NumPartitions:  req.Options.NumPartitions,
-	})
+	}
+	var eng gbkmv.Engine
+	var err error
+	if segments >= 1 {
+		eng, err = gbkmv.NewSegmented(engine, segments, records, opts)
+	} else {
+		eng, err = gbkmv.NewEngine(engine, records, opts)
+	}
 	if err != nil {
 		writeError(w, http.StatusBadRequest, "building %q: %v", name, err)
 		return

@@ -42,8 +42,11 @@ func benchInsertWorkload(b *testing.B, clients, perClient int) [][][]string {
 	return out
 }
 
-// newBenchCollection builds a journaled collection in a fresh temp dir.
-func newBenchCollection(b *testing.B, serial bool) *Collection {
+// newBenchCollection builds a journaled collection in a fresh temp dir,
+// sharded across the given segment count. The main insert benchmarks run at
+// one segment: routing through the segmentation layer with a single
+// sub-index, which the CI gate holds to the pre-segmentation baselines.
+func newBenchCollection(b *testing.B, serial bool, segments int) *Collection {
 	b.Helper()
 	store, err := NewStore(b.TempDir(), func(string, ...any) {})
 	if err != nil {
@@ -52,7 +55,7 @@ func newBenchCollection(b *testing.B, serial bool) *Collection {
 	b.Cleanup(func() { store.Close() })
 	voc := gbkmv.NewVocabulary()
 	recs := []gbkmv.Record{voc.Record([]string{"seed", "one"}), voc.Record([]string{"seed", "two"})}
-	eng, err := gbkmv.NewEngine("gbkmv", recs, gbkmv.EngineOptions{BudgetUnits: 64 << 20})
+	eng, err := gbkmv.NewSegmented("gbkmv", segments, recs, gbkmv.EngineOptions{BudgetUnits: 64 << 20})
 	if err != nil {
 		b.Fatal(err)
 	}
@@ -66,9 +69,9 @@ func newBenchCollection(b *testing.B, serial bool) *Collection {
 
 // runInsertBench drives b.N single-record inserts across the clients and
 // reports per-insert wall time.
-func runInsertBench(b *testing.B, clients int, serial bool) {
+func runInsertBench(b *testing.B, clients int, serial bool, segments int) {
 	workload := benchInsertWorkload(b, clients, 512)
-	c := newBenchCollection(b, serial)
+	c := newBenchCollection(b, serial, segments)
 	b.ResetTimer()
 	var next atomic.Int64
 	var wg sync.WaitGroup
@@ -97,7 +100,21 @@ func runInsertBench(b *testing.B, clients int, serial bool) {
 func BenchmarkServerInsert(b *testing.B) {
 	for _, clients := range []int{1, 8, 32} {
 		b.Run(fmt.Sprintf("c%d", clients), func(b *testing.B) {
-			runInsertBench(b, clients, false)
+			runInsertBench(b, clients, false, 1)
+		})
+	}
+}
+
+// BenchmarkServerInsertSegments is the segment-scaling matrix at 32
+// concurrent clients: one segment (the serialized-apply baseline) against
+// sharded counts, where per-segment locks let the engine applies of one
+// journaled batch run in parallel. On a multicore runner seg8-c32 should
+// beat seg1-c32; on one core they tie (the routing overhead is in the
+// noise, which the seg1 CI gate pins).
+func BenchmarkServerInsertSegments(b *testing.B) {
+	for _, segs := range []int{1, 2, 8} {
+		b.Run(fmt.Sprintf("seg%d-c32", segs), func(b *testing.B) {
+			runInsertBench(b, 32, false, segs)
 		})
 	}
 }
@@ -109,7 +126,7 @@ func BenchmarkServerInsert(b *testing.B) {
 func BenchmarkServerInsertSerial(b *testing.B) {
 	for _, clients := range []int{1, 32} {
 		b.Run(fmt.Sprintf("c%d", clients), func(b *testing.B) {
-			runInsertBench(b, clients, true)
+			runInsertBench(b, clients, true, 1)
 		})
 	}
 }

@@ -1,6 +1,7 @@
 package server
 
 import (
+	"strconv"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -53,6 +54,14 @@ type Metrics struct {
 
 	collRecords *obs.GaugeVec // collection (scrape-time mirror)
 	collGen     *obs.GaugeVec // collection: query generation
+	// Segmented-collection surface: per-segment record counts (scrape-time
+	// mirror; segCounts remembers each collection's last mirrored segment
+	// count so stale children are removed exactly) and the snapshot pause
+	// histogram — per segment-encode for segmented collections, per
+	// index-encode for single-index ones.
+	segRecords *obs.GaugeVec     // collection, segment
+	snapPause  *obs.HistogramVec // collection
+	segCounts  sync.Map          // collection name → int
 	journaled   *obs.GaugeVec // collection: entries in the current journal
 	walOffset   *obs.GaugeVec // collection: journal logical size
 	walSynced   *obs.GaugeVec // collection: durable high-water mark
@@ -150,6 +159,13 @@ func newMetrics() *Metrics {
 		collGen: r.GaugeVec("gbkmv_collection_query_generation",
 			"Query generation (bumped by every engine mutation; cache key epoch).",
 			"collection"),
+		segRecords: r.GaugeVec("gbkmv_segment_records",
+			"Records per segment of a segmented collection.",
+			"collection", "segment"),
+		snapPause: r.HistogramVec("gbkmv_snapshot_pause_seconds",
+			"Engine-lock hold time per snapshot encode: one observation per segment "+
+				"for segmented collections, one per snapshot for single-index ones.",
+			obs.LatencyBuckets, "collection"),
 		journaled: r.GaugeVec("gbkmv_wal_entries",
 			"Entries in the current journal (reset by snapshots).", "collection"),
 		walOffset: r.GaugeVec("gbkmv_wal_offset_bytes",
@@ -243,9 +259,10 @@ func (m *Metrics) removeCollection(name string) {
 	} {
 		v.Remove(name)
 	}
-	for _, v := range []*obs.HistogramVec{m.fsync, m.groupSize, m.batchSize, m.candidates} {
+	for _, v := range []*obs.HistogramVec{m.fsync, m.groupSize, m.batchSize, m.candidates, m.snapPause} {
 		v.Remove(name)
 	}
+	m.removeSegmentChildren(name, 0)
 	m.endpoints.Range(func(k, _ any) bool {
 		key := k.(endpointKey)
 		if key.collection == name {
@@ -265,6 +282,7 @@ func (m *Metrics) removeCollection(name string) {
 // nothing.
 type collMetrics struct {
 	fsync       *obs.Histogram
+	snapPause   *obs.Histogram
 	groupSize   *obs.Histogram
 	walBytes    *obs.Counter
 	walFrames   *obs.Counter
@@ -284,6 +302,7 @@ type collMetrics struct {
 func (m *Metrics) collMetricsFor(name string) *collMetrics {
 	return &collMetrics{
 		fsync:       m.fsync.With(name),
+		snapPause:   m.snapPause.With(name),
 		groupSize:   m.groupSize.With(name),
 		walBytes:    m.walBytes.With(name),
 		walFrames:   m.walFrames.With(name),
@@ -303,6 +322,14 @@ func (m *Metrics) collMetricsFor(name string) *collMetrics {
 func (cm *collMetrics) observeFsync(d time.Duration) {
 	if cm != nil {
 		cm.fsync.Observe(d.Seconds())
+	}
+}
+
+// observeSnapPause books one snapshot-encode lock hold (a whole-index encode,
+// or one segment's encode when the collection is segmented).
+func (cm *collMetrics) observeSnapPause(d time.Duration) {
+	if cm != nil {
+		cm.snapPause.Observe(d.Seconds())
 	}
 }
 
@@ -382,7 +409,12 @@ func (s *Store) mirrorCollections() {
 		if hasBuild {
 			hashed, shrinks = bc.BuildCounters()
 		}
+		var segRecs []int
+		if seg, ok := c.eng.(*gbkmv.Segmented); ok {
+			segRecs = seg.SegmentRecords()
+		}
 		c.mu.RUnlock()
+		m.mirrorSegments(name, segRecs)
 		m.collRecords.With(name).Set(float64(records))
 		m.collGen.With(name).Set(float64(c.queryGen.Load()))
 		var ro float64
@@ -396,6 +428,35 @@ func (s *Store) mirrorCollections() {
 			m.hashedTotal.With(name).Set(hashed)
 			m.shrinkTotal.With(name).Set(shrinks)
 		}
+	}
+}
+
+// mirrorSegments sets the per-segment record gauges of one collection and
+// retires children past the current segment count (a replacement build may
+// have fewer segments, or none).
+func (m *Metrics) mirrorSegments(name string, segRecs []int) {
+	for i, n := range segRecs {
+		m.segRecords.With(name, strconv.Itoa(i)).Set(float64(n))
+	}
+	m.removeSegmentChildren(name, len(segRecs))
+	if len(segRecs) > 0 {
+		m.segCounts.Store(name, len(segRecs))
+	}
+}
+
+// removeSegmentChildren ends the gbkmv_segment_records series of segments
+// keep and above, using the remembered last mirrored count (Remove needs the
+// exact label values). keep == 0 drops the whole collection.
+func (m *Metrics) removeSegmentChildren(name string, keep int) {
+	prev, ok := m.segCounts.Load(name)
+	if !ok {
+		return
+	}
+	for i := keep; i < prev.(int); i++ {
+		m.segRecords.Remove(name, strconv.Itoa(i))
+	}
+	if keep == 0 {
+		m.segCounts.Delete(name)
 	}
 }
 

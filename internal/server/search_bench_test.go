@@ -51,9 +51,11 @@ func benchCollectionRecords(b *testing.B, n int) [][]string {
 }
 
 // newSearchBenchHandler builds a memory-only store holding one gbkmv
-// collection over n synthetic records, with the given per-collection query
-// cache size, and returns its HTTP handler plus the raw token records.
-func newSearchBenchHandler(b *testing.B, n, cacheEntries int) (http.Handler, [][]string) {
+// collection over n synthetic records, sharded across the given segment
+// count, with the given per-collection query cache size, and returns its
+// HTTP handler plus the raw token records. The main read benchmarks run at
+// one segment, which the CI gate holds to the pre-segmentation baselines.
+func newSearchBenchHandler(b *testing.B, n, cacheEntries, segments int) (http.Handler, [][]string) {
 	b.Helper()
 	store, err := NewStore("", func(string, ...any) {})
 	if err != nil {
@@ -66,7 +68,7 @@ func newSearchBenchHandler(b *testing.B, n, cacheEntries int) (http.Handler, [][
 	for i, tokens := range records {
 		recs[i] = voc.Record(tokens)
 	}
-	eng, err := gbkmv.NewEngine("gbkmv", recs, gbkmv.EngineOptions{BudgetFraction: 0.1, Seed: 7})
+	eng, err := gbkmv.NewSegmented("gbkmv", segments, recs, gbkmv.EngineOptions{BudgetFraction: 0.1, Seed: 7})
 	if err != nil {
 		b.Fatal(err)
 	}
@@ -165,7 +167,7 @@ var benchModes = []struct {
 // concurrent clients, cache-hit (hot) vs no-cache (cold).
 func BenchmarkServerSearch(b *testing.B) {
 	for _, mode := range benchModes {
-		h, records := newSearchBenchHandler(b, 2500, mode.entries)
+		h, records := newSearchBenchHandler(b, 2500, mode.entries, 1)
 		bodies := benchQueryBodies(b, records, 64, func(q []byte) string {
 			return fmt.Sprintf(`{"query":%s,"threshold":0.8,"limit":10}`, q)
 		})
@@ -177,10 +179,28 @@ func BenchmarkServerSearch(b *testing.B) {
 	}
 }
 
+// BenchmarkServerSearchSegments is the read-path segment-scaling matrix:
+// each search fans out across the segments through the work-stealing pool
+// and merges per-segment results. Cold cache so every request pays the full
+// fan-out; seg1 is the no-fan-out baseline the CI gate compares.
+func BenchmarkServerSearchSegments(b *testing.B) {
+	for _, segs := range []int{1, 2, 8} {
+		h, records := newSearchBenchHandler(b, 2500, 0, segs)
+		bodies := benchQueryBodies(b, records, 64, func(q []byte) string {
+			return fmt.Sprintf(`{"query":%s,"threshold":0.8,"limit":10}`, q)
+		})
+		for _, clients := range []int{1, 8} {
+			b.Run(fmt.Sprintf("seg%d-c%d", segs, clients), func(b *testing.B) {
+				driveHandler(b, h, clients, "/collections/bench/search", bodies)
+			})
+		}
+	}
+}
+
 // BenchmarkServerTopK is BenchmarkServerSearch for the top-k endpoint.
 func BenchmarkServerTopK(b *testing.B) {
 	for _, mode := range benchModes {
-		h, records := newSearchBenchHandler(b, 2500, mode.entries)
+		h, records := newSearchBenchHandler(b, 2500, mode.entries, 1)
 		bodies := benchQueryBodies(b, records, 64, func(q []byte) string {
 			return fmt.Sprintf(`{"query":%s,"k":10}`, q)
 		})
@@ -198,7 +218,7 @@ func BenchmarkServerTopK(b *testing.B) {
 // acceptance: batch32 < seq32). Cache enabled in both, as in production.
 func BenchmarkServerSearchBatch(b *testing.B) {
 	const nq = 32
-	h, records := newSearchBenchHandler(b, 2500, DefaultQueryCacheEntries)
+	h, records := newSearchBenchHandler(b, 2500, DefaultQueryCacheEntries, 1)
 	singles := benchQueryBodies(b, records, nq, func(q []byte) string {
 		return fmt.Sprintf(`{"query":%s,"threshold":0.8,"limit":10}`, q)
 	})

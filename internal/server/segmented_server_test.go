@@ -1,0 +1,343 @@
+package server
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"reflect"
+	"sync"
+	"testing"
+)
+
+// openSegServer is newServer with an explicit default segment count — the
+// handler stack of a gbkmvd started with -segments.
+func openSegServer(t *testing.T, dir string, segments int) (*Store, *httptest.Server) {
+	t.Helper()
+	store, err := OpenStore(dir, StoreOptions{Logf: t.Logf, Segments: segments})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(Handler(store))
+	t.Cleanup(ts.Close)
+	return store, ts
+}
+
+// segCorpus builds a deterministic ~nRecords corpus with overlapping token
+// sets, big enough that every segment of a small shard count is populated.
+func segCorpus(n int) [][]string {
+	recs := make([][]string, n)
+	for i := range recs {
+		recs[i] = []string{
+			fmt.Sprintf("tok%d", i%17),
+			fmt.Sprintf("tok%d", (i*3)%29),
+			fmt.Sprintf("tok%d", (i*7)%41),
+			fmt.Sprintf("id%d", i),
+		}
+	}
+	return recs
+}
+
+func buildSegmented(t *testing.T, ts *httptest.Server, name string, records [][]string, segments int) {
+	t.Helper()
+	body := map[string]any{
+		"records": records,
+		"options": map[string]any{"budget_units": 100000, "buffer_bits": 64, "segments": segments},
+	}
+	code, m := doJSON(t, ts, "PUT", "/collections/"+name, jsonBody(t, body))
+	if code != http.StatusOK {
+		t.Fatalf("build %s: %d %v", name, code, m)
+	}
+}
+
+func jsonBody(t *testing.T, v any) string {
+	t.Helper()
+	b, err := json.Marshal(v)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return string(b)
+}
+
+// searchResults collects the ids of a few fixed searches and top-k queries —
+// the equality probe for migration and replication tests.
+func searchResults(t *testing.T, ts *httptest.Server, name string) []any {
+	t.Helper()
+	var out []any
+	for _, q := range []string{
+		`{"query": ["tok1", "tok3", "tok7"], "threshold": 0.3, "limit": 50}`,
+		`{"query": ["tok2", "tok6"], "threshold": 0.5, "limit": 50}`,
+		`{"query": ["tok0", "id0"], "threshold": 0.2, "limit": 50}`,
+	} {
+		code, m := doJSON(t, ts, "POST", "/collections/"+name+"/search", q)
+		if code != http.StatusOK {
+			t.Fatalf("search: %d %v", code, m)
+		}
+		out = append(out, m["results"], m["total"])
+	}
+	code, m := doJSON(t, ts, "POST", "/collections/"+name+"/topk", `{"query": ["tok1", "tok3"], "k": 10}`)
+	if code != http.StatusOK {
+		t.Fatalf("topk: %d %v", code, m)
+	}
+	return append(out, m["results"])
+}
+
+// segmentsBlock pulls the segments object out of /stats; nil when absent.
+func segmentsBlock(t *testing.T, ts *httptest.Server, name string) map[string]any {
+	t.Helper()
+	code, m := doJSON(t, ts, "GET", "/collections/"+name+"/stats", "")
+	if code != http.StatusOK {
+		t.Fatalf("stats: %d %v", code, m)
+	}
+	seg, _ := m["segments"].(map[string]any)
+	return seg
+}
+
+// TestSegmentedBuildStatsInsertSearch drives the segmented path end to end
+// through the HTTP API: explicit options.segments builds a sharded
+// collection, /stats reports the layout, inserts land and are searchable.
+func TestSegmentedBuildStatsInsertSearch(t *testing.T) {
+	_, ts := newServer(t, "")
+	records := segCorpus(60)
+	buildSegmented(t, ts, "s", records, 4)
+
+	seg := segmentsBlock(t, ts, "s")
+	if seg == nil {
+		t.Fatalf("stats has no segments block for a segmented collection")
+	}
+	if got := seg["count"].(float64); got != 4 {
+		t.Fatalf("segments.count = %v, want 4", got)
+	}
+	recs := seg["records"].([]any)
+	total := 0.0
+	for _, r := range recs {
+		total += r.(float64)
+	}
+	if total != 60 {
+		t.Fatalf("segment records sum to %v, want 60", total)
+	}
+	if skew := seg["skew"].(float64); skew < 1 {
+		t.Fatalf("skew = %v, want >= 1 with every segment populated", skew)
+	}
+
+	// Unsegmented twin over the same corpus: the gbkmv engine's generous
+	// budget makes every estimate exact, so results must match bit for bit.
+	body := map[string]any{
+		"records": records,
+		"options": map[string]any{"budget_units": 100000, "buffer_bits": 64},
+	}
+	if code, m := doJSON(t, ts, "PUT", "/collections/bare", jsonBody(t, body)); code != http.StatusOK {
+		t.Fatalf("bare build: %d %v", code, m)
+	}
+	if bare := segmentsBlock(t, ts, "bare"); bare != nil {
+		t.Fatalf("unsegmented collection reports a segments block: %v", bare)
+	}
+	want := searchResults(t, ts, "bare")
+	if got := searchResults(t, ts, "s"); !reflect.DeepEqual(got, want) {
+		t.Fatalf("segmented results diverge from unsegmented:\n got %v\nwant %v", got, want)
+	}
+
+	// Inserts route to segments; both collections stay in lockstep.
+	extra := `{"records": [["tok1", "tok3", "fresh1"], ["tok2", "fresh2"], ["tok0", "tok6", "fresh3"]]}`
+	for _, name := range []string{"s", "bare"} {
+		if code, m := doJSON(t, ts, "POST", "/collections/"+name+"/records", extra); code != http.StatusOK {
+			t.Fatalf("insert into %s: %d %v", name, code, m)
+		}
+	}
+	want = searchResults(t, ts, "bare")
+	if got := searchResults(t, ts, "s"); !reflect.DeepEqual(got, want) {
+		t.Fatalf("post-insert results diverge:\n got %v\nwant %v", got, want)
+	}
+	seg = segmentsBlock(t, ts, "s")
+	recs = seg["records"].([]any)
+	total = 0
+	for _, r := range recs {
+		total += r.(float64)
+	}
+	if total != 63 {
+		t.Fatalf("segment records sum to %v after insert, want 63", total)
+	}
+
+	// Negative segment counts are a client error, not a panic.
+	if code, _ := doJSON(t, ts, "PUT", "/collections/neg",
+		`{"records": [["a"]], "options": {"segments": -1}}`); code != http.StatusBadRequest {
+		t.Fatalf("segments=-1 accepted: %d", code)
+	}
+}
+
+// TestSegmentedMigrationRoundTrip proves the legacy-snapshot path: a store
+// written entirely before segmentation (bare engine snapshot + journal)
+// reopens under a segmented default, reshards on load with identical search
+// results, persists the segmented form, and that snapshot loads fine again —
+// including under a store with no segment default.
+func TestSegmentedMigrationRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	records := segCorpus(40)
+
+	// Era 1: pre-segmentation. Plain NewStore (Segments 0) + build without
+	// options.segments writes exactly the PR 9 on-disk format.
+	store, ts := newServer(t, dir)
+	body := map[string]any{
+		"records": records,
+		"options": map[string]any{"budget_units": 100000, "buffer_bits": 64},
+	}
+	if code, m := doJSON(t, ts, "PUT", "/collections/m", jsonBody(t, body)); code != http.StatusOK {
+		t.Fatalf("build: %d %v", code, m)
+	}
+	// Journaled tail on top of the snapshot, so migration also replays WAL.
+	if code, m := doJSON(t, ts, "POST", "/collections/m/records",
+		`{"records": [["tok1", "legacy1"], ["tok2", "tok3", "legacy2"]]}`); code != http.StatusOK {
+		t.Fatalf("insert: %d %v", code, m)
+	}
+	if seg := segmentsBlock(t, ts, "m"); seg != nil {
+		t.Fatalf("pre-segmentation collection reports segments: %v", seg)
+	}
+	want := searchResults(t, ts, "m")
+	ts.Close()
+	if err := store.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Era 2: reopen segmented. The bare snapshot must reshard on load.
+	store2, ts2 := openSegServer(t, dir, 4)
+	seg := segmentsBlock(t, ts2, "m")
+	if seg == nil || seg["count"].(float64) != 4 {
+		t.Fatalf("migrated collection segments = %v, want count 4", seg)
+	}
+	if got := searchResults(t, ts2, "m"); !reflect.DeepEqual(got, want) {
+		t.Fatalf("migration changed results:\n got %v\nwant %v", got, want)
+	}
+	// More inserts post-migration, then persist the segmented form.
+	if code, m := doJSON(t, ts2, "POST", "/collections/m/records",
+		`{"records": [["tok5", "migrated1"]]}`); code != http.StatusOK {
+		t.Fatalf("insert: %d %v", code, m)
+	}
+	if code, m := doJSON(t, ts2, "POST", "/collections/m/snapshot", ""); code != http.StatusOK {
+		t.Fatalf("snapshot: %d %v", code, m)
+	}
+	want2 := searchResults(t, ts2, "m")
+	ts2.Close()
+	if err := store2.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Era 3a: the segmented snapshot self-describes — it loads segmented even
+	// under a store with no segment default (a follower, or a downgrade).
+	store3, ts3 := newServer(t, dir)
+	if seg := segmentsBlock(t, ts3, "m"); seg == nil || seg["count"].(float64) != 4 {
+		t.Fatalf("segmented snapshot loaded under default store as %v, want count 4", seg)
+	}
+	if got := searchResults(t, ts3, "m"); !reflect.DeepEqual(got, want2) {
+		t.Fatalf("segmented snapshot round-trip changed results:\n got %v\nwant %v", got, want2)
+	}
+	ts3.Close()
+	if err := store3.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Era 3b: reopening with a matching default leaves it alone too.
+	_, ts4 := openSegServer(t, dir, 4)
+	if seg := segmentsBlock(t, ts4, "m"); seg == nil || seg["count"].(float64) != 4 {
+		t.Fatalf("reopen with matching default: segments = %v", seg)
+	}
+	if got := searchResults(t, ts4, "m"); !reflect.DeepEqual(got, want2) {
+		t.Fatalf("second reopen changed results:\n got %v\nwant %v", got, want2)
+	}
+}
+
+// TestSegmentedConcurrentInsertSearchSnapshot is the -race exercise: inserts,
+// searches and snapshots hammer one segmented collection concurrently. The
+// invariants are freedom from data races and that every acknowledged insert
+// is present at the end.
+func TestSegmentedConcurrentInsertSearchSnapshot(t *testing.T) {
+	dir := t.TempDir()
+	store, ts := openSegServer(t, dir, 4)
+	buildSegmented(t, ts, "c", segCorpus(50), 4)
+	c, err := store.Get("c")
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	const inserters, batches, perBatch = 4, 15, 4
+	var wg sync.WaitGroup
+	errc := make(chan error, 16)
+	for w := 0; w < inserters; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < batches; i++ {
+				recs := make([][]string, perBatch)
+				for j := range recs {
+					recs[j] = []string{fmt.Sprintf("tok%d", (w+i+j)%17), fmt.Sprintf("w%d-b%d-r%d", w, i, j)}
+				}
+				if _, err := c.Insert(recs, fmt.Sprintf("seg-race-%d-%d", w, i)); err != nil {
+					errc <- fmt.Errorf("insert: %w", err)
+					return
+				}
+			}
+		}(w)
+	}
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 60; i++ {
+				if _, _, err := c.Search([]string{fmt.Sprintf("tok%d", i%17), "tok3"}, 0.3, 20, false, nil); err != nil {
+					errc <- fmt.Errorf("search: %w", err)
+					return
+				}
+				if _, err := c.TopK([]string{fmt.Sprintf("tok%d", i%29)}, 5, false, nil); err != nil {
+					errc <- fmt.Errorf("topk: %w", err)
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < 8; i++ {
+			if _, err := store.Snapshot("c"); err != nil {
+				errc <- fmt.Errorf("snapshot: %w", err)
+				return
+			}
+		}
+	}()
+	wg.Wait()
+	close(errc)
+	if err := <-errc; err != nil {
+		t.Fatal(err)
+	}
+
+	wantLen := 50 + inserters*batches*perBatch
+	if got := c.Stats().NumRecords; got != wantLen {
+		t.Fatalf("records after concurrent run = %d, want %d", got, wantLen)
+	}
+	seg := segmentsBlock(t, ts, "c")
+	recs := seg["records"].([]any)
+	total := 0.0
+	for _, r := range recs {
+		total += r.(float64)
+	}
+	if int(total) != wantLen {
+		t.Fatalf("segment records sum to %v, want %d", total, wantLen)
+	}
+
+	// Reload: the mix of snapshots and journaled tails reassembles.
+	ts.Close()
+	if err := store.Close(); err != nil {
+		t.Fatal(err)
+	}
+	store2, ts2 := openSegServer(t, dir, 4)
+	defer store2.Close()
+	c2, err := store2.Get("c")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := c2.Stats().NumRecords; got != wantLen {
+		t.Fatalf("records after reload = %d, want %d", got, wantLen)
+	}
+	if seg := segmentsBlock(t, ts2, "c"); seg == nil || seg["count"].(float64) != 4 {
+		t.Fatalf("reloaded segments = %v, want count 4", seg)
+	}
+}

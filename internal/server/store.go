@@ -55,7 +55,14 @@ type Store struct {
 	fileRoot   string // root for server-side file builds; "" disables them
 	defaultEng string // engine used when a build names none
 	cacheCap   int    // prepared-query cache entries per collection; 0 disables
-	logf       func(format string, args ...any)
+	// defaultSegments is the segment count of collections whose build names
+	// none (options.segments == 0): 0 builds unsegmented single-index
+	// collections (the pre-segmentation behavior), n >= 1 shards across n
+	// sub-indexes. It also drives load-time migration: with a default > 1,
+	// pre-segmentation snapshots reshard on load (OpenStore). Followers must
+	// keep it 0 — their snapshot files are byte-copies of the leader's.
+	defaultSegments int
+	logf            func(format string, args ...any)
 
 	metrics     *Metrics     // always non-nil; see metrics.go
 	ready       atomic.Bool  // set once startup loading finished (readiness)
@@ -147,6 +154,29 @@ func NewStore(dir string, logf func(format string, args ...any)) (*Store, error)
 // NewStoreWithFS is NewStore with an injected filesystem (nil means the real
 // one) — the entry point of the disk-chaos tests.
 func NewStoreWithFS(dir string, fsys fsx.FS, logf func(format string, args ...any)) (*Store, error) {
+	return OpenStore(dir, StoreOptions{FS: fsys, Logf: logf})
+}
+
+// StoreOptions configures OpenStore. The zero value matches NewStore.
+type StoreOptions struct {
+	// FS injects a filesystem (nil means the real one).
+	FS fsx.FS
+	// Logf receives startup and operational log lines (nil means log.Printf).
+	Logf func(format string, args ...any)
+	// Segments is the default segment count for collections whose build
+	// requests name none, and the load-time migration target: 0 keeps
+	// single-index collections as-is (the pre-segmentation behavior).
+	Segments int
+}
+
+// OpenStore opens a store over the data directory with explicit options,
+// reloading every collection previously snapshotted there. With
+// Segments > 1, single-index collections loaded from pre-segmentation
+// snapshots are resharded in memory (records routed through the segment
+// hash, ids preserved); their next snapshot persists the segmented form.
+func OpenStore(dir string, o StoreOptions) (*Store, error) {
+	logf := o.Logf
+	fsys := o.FS
 	if logf == nil {
 		logf = log.Printf
 	}
@@ -154,7 +184,7 @@ func NewStoreWithFS(dir string, fsys fsx.FS, logf func(format string, args ...an
 		fsys = fsx.Default
 	}
 	s := &Store{dir: dir, fs: fsys, defaultEng: gbkmv.DefaultEngine, cacheCap: DefaultQueryCacheEntries,
-		logf: logf, cols: make(map[string]*Collection)}
+		defaultSegments: o.Segments, logf: logf, cols: make(map[string]*Collection)}
 	s.metrics = newMetrics()
 	s.metrics.reg.OnScrape(s.mirrorCollections)
 	if dir == "" {
@@ -184,6 +214,7 @@ func NewStoreWithFS(dir string, fsys fsx.FS, logf func(format string, args ...an
 			s.logf("gbkmvd: skipping collection %q: %v", e.Name(), err)
 			continue
 		}
+		s.migrateSegments(c)
 		s.attach(c, s.cacheCap)
 		s.cols[c.name] = c
 		s.logf("gbkmvd: loaded collection %q: engine %s, %d records (%d replayed from journal)",
@@ -204,6 +235,13 @@ func (s *Store) attach(c *Collection, cacheCap int) {
 	}
 	c.engName = c.eng.EngineName()
 	c.metrics = s.metrics.collMetricsFor(c.name)
+	if seg, ok := c.eng.(*gbkmv.Segmented); ok {
+		// Per-segment snapshot encode durations are the collection's write
+		// pauses once segmented — each segment is locked only while its own
+		// sub-index serializes.
+		m := c.metrics
+		seg.SetSaveObserver(func(_ int, d time.Duration) { m.observeSnapPause(d) })
+	}
 	c.qcache = newQueryCacheWith(cacheCap, c.metrics.qcHits, c.metrics.qcMisses, c.metrics.qcEvictions)
 	s.metrics.replaySecs.With(c.name).Set(c.replayDur.Seconds())
 	if c.tornTail {
@@ -234,6 +272,34 @@ func (s *Store) SetDefaultEngine(name string) error {
 
 // DefaultEngine returns the engine used when a build request names none.
 func (s *Store) DefaultEngine() string { return s.defaultEng }
+
+// DefaultSegments returns the segment count applied when a build request
+// leaves options.segments at 0. Zero means unsegmented single-index
+// collections.
+func (s *Store) DefaultSegments() int { return s.defaultSegments }
+
+// migrateSegments reshards a freshly loaded single-index collection to the
+// store's default segment count (ids preserved; estimates of data-dependent
+// engines may shift, as any segmented build's do). Failure keeps the loaded
+// engine — migration is an optimization, not a correctness requirement.
+// Called from OpenStore before attach, so no locks are needed yet.
+func (s *Store) migrateSegments(c *Collection) {
+	if s.defaultSegments <= 1 {
+		return
+	}
+	if _, ok := c.eng.(*gbkmv.Segmented); ok {
+		return
+	}
+	seg, err := gbkmv.Reshard(c.eng, s.defaultSegments)
+	if err != nil {
+		s.logf("gbkmvd: collection %q: keeping single-index engine (reshard to %d segments failed: %v)",
+			c.name, s.defaultSegments, err)
+		return
+	}
+	c.eng = seg
+	s.logf("gbkmvd: collection %q: resharded pre-segmentation snapshot into %d segments",
+		c.name, s.defaultSegments)
+}
 
 // DefaultQueryCacheEntries is the per-collection prepared-query cache size
 // used when SetQueryCacheSize was never called.
@@ -1430,6 +1496,45 @@ type CollStats struct {
 	// quarantined generation, recent quarantine events). Filled by the stats
 	// handler — the quarantine event log lives with the store.
 	Storage *StorageHealth `json:"storage,omitempty"`
+
+	// Segments reports the collection's sharding layout; nil (omitted) for
+	// unsegmented single-index collections.
+	Segments *SegmentStats `json:"segments,omitempty"`
+}
+
+// SegmentStats describes how a segmented collection's records are spread
+// across its sub-indexes. Skew is the max/min per-segment record count ratio
+// (1.0 is a perfect spread; 0 while any segment is still empty), the quick
+// health check for the hash routing.
+type SegmentStats struct {
+	Count   int     `json:"count"`
+	Records []int   `json:"records"`
+	Max     int     `json:"max"`
+	Min     int     `json:"min"`
+	Skew    float64 `json:"skew"`
+}
+
+// segmentStatsOf derives the /stats segments block from a collection engine,
+// nil when it is not segmented.
+func segmentStatsOf(eng gbkmv.Engine) *SegmentStats {
+	seg, ok := eng.(*gbkmv.Segmented)
+	if !ok {
+		return nil
+	}
+	recs := seg.SegmentRecords()
+	st := &SegmentStats{Count: len(recs), Records: recs}
+	for i, n := range recs {
+		if i == 0 || n > st.Max {
+			st.Max = n
+		}
+		if i == 0 || n < st.Min {
+			st.Min = n
+		}
+	}
+	if st.Min > 0 {
+		st.Skew = float64(st.Max) / float64(st.Min)
+	}
+	return st
 }
 
 // Stats returns the collection's current statistics.
@@ -1478,6 +1583,7 @@ func (c *Collection) Stats() CollStats {
 		OpenGroupDepth:   groupDepth,
 		QueryGeneration:  c.queryGen.Load(),
 		QueryCache:       qcs,
+		Segments:         segmentStatsOf(c.eng),
 	}
 }
 
@@ -1551,6 +1657,10 @@ type meta struct {
 	// background scrubber, and by followers on bootstrap transfer. Commit
 	// records from before checksums existed load unverified.
 	Checksums map[string]fileSum `json:"checksums,omitempty"`
+	// Segments records the collection's segment count when the snapshot was
+	// taken (informational — the index snapshot is self-describing); 0 for
+	// single-index snapshots, including every pre-segmentation commit record.
+	Segments int `json:"segments,omitempty"`
 }
 
 // requestEntry is one remembered insert request in the commit record: the
@@ -1655,11 +1765,18 @@ func (c *Collection) snapshot() (committed bool, err error) {
 	}
 	sums := make(map[string]fileSum, 2)
 	err = func() error {
+		indexStart := time.Now()
 		s, err := writeFileSync(fsys, indexPath(c.dir, gen), func(w io.Writer) error {
 			return gbkmv.SaveEngine(w, c.eng)
 		})
 		if err != nil {
 			return fmt.Errorf("writing index snapshot: %w", err)
+		}
+		if _, segmented := c.eng.(*gbkmv.Segmented); !segmented && c.metrics != nil {
+			// Single-index pause: the whole encode runs under one engine
+			// state. Segmented engines observe per-segment pauses through the
+			// save observer instead (see Store.attach).
+			c.metrics.observeSnapPause(time.Since(indexStart))
 		}
 		sums["index"] = s
 		if s, err = writeFileSync(fsys, vocabPath(c.dir, gen), c.voc.Save); err != nil {
@@ -1670,9 +1787,13 @@ func (c *Collection) snapshot() (committed bool, err error) {
 	}()
 	records := 0
 	engine := ""
+	segments := 0
 	if err == nil {
 		records = c.eng.Len()
 		engine = c.eng.EngineName()
+		if seg, ok := c.eng.(*gbkmv.Segmented); ok {
+			segments = seg.SegmentCount()
+		}
 	}
 	c.mu.RUnlock()
 	if err != nil {
@@ -1691,7 +1812,8 @@ func (c *Collection) snapshot() (committed bool, err error) {
 	// the log is stable here.
 	reqs := c.requests.entries()
 	m := meta{Name: c.name, Engine: engine, Generation: gen, Parent: parent,
-		Records: records, SavedAt: time.Now().UTC(), Requests: reqs, Checksums: sums}
+		Records: records, SavedAt: time.Now().UTC(), Requests: reqs, Checksums: sums,
+		Segments: segments}
 	b, err := json.MarshalIndent(m, "", "  ")
 	if err != nil {
 		jw.Close()

@@ -1,0 +1,902 @@
+package gbkmv
+
+import (
+	"bytes"
+	"encoding/binary"
+	"encoding/gob"
+	"fmt"
+	"io"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"gbkmv/internal/topkheap"
+)
+
+// Segmented shards one logical collection across n independent sub-engines
+// ("segments"), each with its own lock. Records route to segments by a
+// deterministic content hash, so any two replicas that apply the same journal
+// build the same segments. Global record ids are assigned in insert order
+// exactly as a single-index engine would assign them (id == journal order);
+// the routing table maps a global id to its (segment, local id) pair, and
+// within a segment local ids ascend in global-id order — the property that
+// lets per-segment results merge into globally ordered results without
+// re-sorting.
+//
+// What segmentation buys:
+//
+//   - AddBatch partitions a batch by segment and applies the per-segment runs
+//     in parallel, so the write-side critical section shrinks from one
+//     whole-collection apply to the largest per-segment apply (~1/n), and the
+//     rebuild-on-insert engines (exact, lshforest, lshensemble) rebuild only
+//     the touched segments.
+//   - Search/SearchScored/TopK fan out across segments through a
+//     work-stealing pool and merge: threshold results are merged in ascending
+//     global-id order, top-k through the shared bounded heap with its
+//     strict-below tie rule (score descending, id ascending on ties).
+//   - Save serializes segment-at-a-time under that segment's read lock, so a
+//     standalone Segmented pauses each segment's writers for ~1/n of the
+//     single-index encode (serving layers that quiesce writes for replay
+//     determinism can still observe the per-segment encode times; see
+//     SetSaveObserver).
+//
+// Determinism: with n == 1 every operation is bit-identical to the bare
+// inner engine (the budget resolves to the same absolute units before the
+// split). With n > 1, engines whose per-record estimates are independent of
+// the rest of the collection — exact always; kmv and minhash because the
+// signature length is pinned globally before the split — stay bit-identical
+// to a single index too. The gbkmv/gkmv sketches derive their global hash
+// threshold τ (and gbkmv its buffer element set) from the records in the
+// same index, so at n > 1 their estimates are those of n smaller indexes:
+// equally principled, not bit-equal. The merge itself is exact for every
+// engine: results are always the union of per-segment results under the
+// single global tie rule.
+//
+// A Segmented follows the Engine concurrency contract (concurrent readers,
+// externally serialized mutations) and additionally tolerates reads running
+// concurrently with one AddBatch: per-segment locks order each segment's
+// apply against searches, and the routing table is published only after
+// every segment applied. Readers may then observe a batch's records
+// segment-by-segment rather than atomically — serving layers that cache
+// query results keyed on a collection-wide generation (like internal/server)
+// must keep excluding reads during applies, and do.
+type Segmented struct {
+	inner string        // inner engine registry name
+	opt   EngineOptions // per-segment build options, pinned (see pinOptions)
+	pin   atomic.Bool   // options pinned against first data
+
+	routeMu sync.RWMutex
+	route   []segRef // global id → (segment, local id)
+
+	segs []*segment
+
+	// onSave, when set, observes each segment's Save encode duration — the
+	// per-segment pause a serving layer reports as its snapshot-pause
+	// histogram.
+	onSave atomic.Value // func(segment int, d time.Duration)
+}
+
+// segRef locates a record inside its segment.
+type segRef struct {
+	seg   uint32
+	local uint32
+}
+
+// segment is one shard: an engine plus the local→global id map, behind its
+// own lock. eng stays nil until the first record routes here (engine
+// builders reject empty record sets), so a Segmented may start with more
+// segments than records.
+type segment struct {
+	mu      sync.RWMutex
+	eng     Engine
+	globals []int // local id → global id, ascending by construction
+}
+
+var _ Engine = (*Segmented)(nil)
+
+// segmentPinners holds the per-engine hooks that resolve data-dependent
+// option defaults (e.g. the MinHash-family signature length k =
+// budget/records) against the GLOBAL collection before it is split, so every
+// segment builds with the same resolved parameters and per-segment scores
+// stay mutually comparable. Adapters register theirs from init; engines with
+// static defaults need none.
+var segmentPinners = map[string]func(records []Record, opt EngineOptions) EngineOptions{}
+
+// registerSegmentPinner installs an option-pinning hook for an engine.
+func registerSegmentPinner(name string, pin func([]Record, EngineOptions) EngineOptions) {
+	segmentPinners[name] = pin
+}
+
+// NewSegmented builds the named engine sharded across n segments. Records
+// route by content hash; options resolve against the whole record set before
+// the per-segment split (see pinOptions). n < 1 is treated as 1; records may
+// be empty (segments then build lazily on first insert).
+func NewSegmented(inner string, n int, records []Record, opt EngineOptions) (*Segmented, error) {
+	if inner == "" {
+		inner = DefaultEngine
+	}
+	if _, _, err := lookupEngine(inner); err != nil {
+		return nil, err
+	}
+	if n < 1 {
+		n = 1
+	}
+	s := &Segmented{inner: inner, opt: opt, segs: make([]*segment, n)}
+	for i := range s.segs {
+		s.segs[i] = &segment{}
+	}
+	if len(records) == 0 {
+		return s, nil
+	}
+	s.pinOptions(records)
+	subs := s.partitionOnly(records)
+	var firstErr error
+	var errMu sync.Mutex
+	fanSegments(n, func(i int) {
+		if len(subs[i].records) == 0 {
+			return
+		}
+		eng, err := NewEngine(inner, subs[i].records, s.opt)
+		if err != nil {
+			errMu.Lock()
+			if firstErr == nil {
+				firstErr = fmt.Errorf("gbkmv: building segment %d: %w", i, err)
+			}
+			errMu.Unlock()
+			return
+		}
+		s.segs[i].eng = eng
+		s.segs[i].globals = subs[i].globals
+	})
+	if firstErr != nil {
+		return nil, firstErr
+	}
+	s.route = make([]segRef, len(records))
+	for i := range subs {
+		for j, g := range subs[i].globals {
+			s.route[g] = segRef{seg: uint32(i), local: uint32(j)}
+		}
+	}
+	return s, nil
+}
+
+// optionsProvider is the unexported interface every built-in adapter
+// implements to report the options its current state was built under, with
+// data-dependent parameters resolved — what Reshard needs to rebuild the
+// same records as segments.
+type optionsProvider interface {
+	engineOptions() EngineOptions
+}
+
+// Reshard wraps an existing single-index engine into n segments, routing its
+// records through the segment hash — the legacy-snapshot migration path: a
+// pre-segmentation snapshot loads as its bare engine, and Reshard rebuilds
+// it segmented with the same records, ids and resolved options. An engine
+// that is already Segmented is returned unchanged.
+func Reshard(e Engine, n int) (*Segmented, error) {
+	if s, ok := e.(*Segmented); ok {
+		return s, nil
+	}
+	op, ok := e.(optionsProvider)
+	if !ok {
+		return nil, fmt.Errorf("gbkmv: engine %q does not expose its build options; cannot reshard", e.EngineName())
+	}
+	records := make([]Record, e.Len())
+	for i := range records {
+		records[i] = e.Record(i)
+	}
+	return NewSegmented(e.EngineName(), n, records, op.engineOptions())
+}
+
+// pinOptions resolves data-dependent option defaults against the global
+// record set and splits the budget across segments: the absolute budget is
+// resolved first (so n == 1 resolves to exactly what the bare engine would
+// use), engine-specific defaults (MinHash-family k) are pinned through the
+// registered hook, then each segment gets an equal ceil share of the units.
+func (s *Segmented) pinOptions(records []Record) {
+	if s.pin.Swap(true) {
+		return
+	}
+	if pin := segmentPinners[s.inner]; pin != nil {
+		s.opt = pin(records, s.opt)
+	}
+	if units := s.opt.budget(totalElements(records)); units > 0 {
+		n := len(s.segs)
+		s.opt.BudgetUnits = (units + n - 1) / n
+		s.opt.BudgetFraction = 0
+	}
+}
+
+// routeOf hashes a record's elements (FNV-1a over the little-endian element
+// ids) onto a segment. The hash sees only record content, which journal
+// replay reproduces exactly, so replicas route identically.
+func (s *Segmented) routeOf(r Record) int {
+	const (
+		offset64 = 14695981039346656037
+		prime64  = 1099511628211
+	)
+	h := uint64(offset64)
+	var b [8]byte
+	for _, e := range r {
+		binary.LittleEndian.PutUint64(b[:], uint64(e))
+		for _, c := range b {
+			h ^= uint64(c)
+			h *= prime64
+		}
+	}
+	return int(h % uint64(len(s.segs)))
+}
+
+// fanSegments runs f(0..n-1) across a bounded work-stealing worker pool —
+// the same atomic-counter pool shape the server's batch search uses — or
+// inline when parallelism cannot help.
+func fanSegments(n int, f func(i int)) {
+	workers := runtime.GOMAXPROCS(0)
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		for i := 0; i < n; i++ {
+			f(i)
+		}
+		return
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				f(i)
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+// EngineName returns the inner engine's registry name: segmentation is a
+// layout property of the collection, not a different sketch.
+func (s *Segmented) EngineName() string { return s.inner }
+
+// InnerEngine returns the inner engine registry name (same as EngineName;
+// explicit for callers holding the Engine interface).
+func (s *Segmented) InnerEngine() string { return s.inner }
+
+// SegmentCount returns the number of segments.
+func (s *Segmented) SegmentCount() int { return len(s.segs) }
+
+// SegmentRecords returns the number of records currently routed to each
+// segment — the skew observable behind the server's /stats segments block
+// and gbkmv_segment_records metric.
+func (s *Segmented) SegmentRecords() []int {
+	out := make([]int, len(s.segs))
+	for i, seg := range s.segs {
+		seg.mu.RLock()
+		out[i] = len(seg.globals)
+		seg.mu.RUnlock()
+	}
+	return out
+}
+
+// SetSaveObserver installs a callback observing each segment's Save encode
+// duration (the per-segment snapshot pause). Set once at wiring time, before
+// concurrent use.
+func (s *Segmented) SetSaveObserver(f func(segment int, d time.Duration)) {
+	s.onSave.Store(f)
+}
+
+func (s *Segmented) Len() int {
+	s.routeMu.RLock()
+	defer s.routeMu.RUnlock()
+	return len(s.route)
+}
+
+func (s *Segmented) Record(i int) Record {
+	s.routeMu.RLock()
+	ref := s.route[i]
+	s.routeMu.RUnlock()
+	seg := s.segs[ref.seg]
+	seg.mu.RLock()
+	defer seg.mu.RUnlock()
+	return seg.eng.Record(int(ref.local))
+}
+
+func (s *Segmented) Add(r Record) int { return s.AddBatch([]Record{r})[0] }
+
+// AddBatch partitions the batch by segment and applies the per-segment runs
+// in parallel: each worker takes only its segment's write lock, so the
+// blocking surface of one insert batch is the largest per-segment apply (and
+// only the touched segments of a rebuild-on-insert engine rebuild). Global
+// ids are assigned in batch order, exactly as a single-index engine would.
+func (s *Segmented) AddBatch(recs []Record) []int {
+	base := s.Len()
+	ids := make([]int, len(recs))
+	for i := range ids {
+		ids[i] = base + i
+	}
+	if len(recs) == 0 {
+		return ids
+	}
+	if !s.pin.Load() {
+		s.pinOptions(recs)
+	}
+	subs := s.partitionOnly(recs)
+	touched := make([]int, 0, len(subs))
+	for i := range subs {
+		if len(subs[i].records) > 0 {
+			touched = append(touched, i)
+		}
+	}
+	fanSegments(len(touched), func(ti int) {
+		i := touched[ti]
+		seg := s.segs[i]
+		seg.mu.Lock()
+		defer seg.mu.Unlock()
+		if seg.eng == nil {
+			eng, err := NewEngine(s.inner, subs[i].records, s.opt)
+			if err != nil {
+				// Mirrors the rebuild-on-insert adapters: AddBatch cannot
+				// report errors, and a registered builder failing on non-empty
+				// records under options that already built once is a
+				// programming error.
+				panic("gbkmv: building segment on insert: " + err.Error())
+			}
+			seg.eng = eng
+		} else {
+			seg.eng.AddBatch(subs[i].records)
+		}
+		seg.globals = append(seg.globals, subs[i].globals...)
+	})
+	refs := make([]segRef, len(recs))
+	for i := range subs {
+		for j, g := range subs[i].globals {
+			refs[g-base] = segRef{seg: uint32(i), local: uint32(subs[i].localBase + j)}
+		}
+	}
+	s.routeMu.Lock()
+	s.route = append(s.route, refs...)
+	s.routeMu.Unlock()
+	return ids
+}
+
+// segRun is one segment's share of an insert batch.
+type segRun struct {
+	records   []Record
+	globals   []int // global ids, in run order
+	localBase int   // segment length before this batch
+}
+
+// partitionOnly routes a batch into per-segment runs without publishing
+// anything; AddBatch publishes under the proper locks.
+func (s *Segmented) partitionOnly(recs []Record) []segRun {
+	base := s.Len()
+	subs := make([]segRun, len(s.segs))
+	for i := range subs {
+		seg := s.segs[i]
+		seg.mu.RLock()
+		subs[i].localBase = len(seg.globals)
+		seg.mu.RUnlock()
+	}
+	for i, r := range recs {
+		seg := s.routeOf(r)
+		subs[seg].records = append(subs[seg].records, r)
+		subs[seg].globals = append(subs[seg].globals, base+i)
+	}
+	return subs
+}
+
+func (s *Segmented) Search(q Record, threshold float64) []int {
+	return s.PrepareQuery(q).Search(threshold)
+}
+
+func (s *Segmented) SearchTopK(q Record, k int) []Scored {
+	return s.PrepareQuery(q).TopK(k)
+}
+
+func (s *Segmented) Estimate(q Record, i int) float64 {
+	return s.PrepareQuery(q).Estimate(i)
+}
+
+// PrepareQuery prepares the query against every built segment. Segments
+// built after preparation (first insert into a previously empty segment) are
+// not visible through this prepared query — the same staleness contract as
+// any prepared query against a mutating engine; serving layers re-prepare on
+// their collection generation.
+func (s *Segmented) PrepareQuery(q Record) PreparedQuery {
+	pqs := make([]PreparedQuery, len(s.segs))
+	for i, seg := range s.segs {
+		seg.mu.RLock()
+		if seg.eng != nil {
+			pqs[i] = seg.eng.PrepareQuery(q)
+		}
+		seg.mu.RUnlock()
+	}
+	return &segmentedQuery{s: s, pqs: pqs, size: len(q)}
+}
+
+func (s *Segmented) EngineStats() EngineStats {
+	st := EngineStats{Engine: s.inner, NumRecords: s.Len()}
+	for _, seg := range s.segs {
+		seg.mu.RLock()
+		if seg.eng != nil {
+			es := seg.eng.EngineStats()
+			st.SizeBytes += es.SizeBytes
+			st.BufferBytes += es.BufferBytes
+			st.SketchBytes += es.SketchBytes
+			st.BudgetUnits += es.BudgetUnits
+			st.UsedUnits += es.UsedUnits
+			if es.Tau > st.Tau {
+				st.Tau = es.Tau // the coarsest segment threshold
+			}
+			if es.BufferBits > st.BufferBits {
+				st.BufferBits = es.BufferBits
+			}
+			if st.NumHashes == 0 {
+				st.NumHashes = es.NumHashes // pinned equal across segments
+			}
+		}
+		seg.mu.RUnlock()
+	}
+	return st
+}
+
+// BuildCounters sums the segments' write-path work counters (segments whose
+// engine does not expose them contribute zero).
+func (s *Segmented) BuildCounters() (elementsHashed, shrinks uint64) {
+	type counters interface {
+		BuildCounters() (uint64, uint64)
+	}
+	for _, seg := range s.segs {
+		seg.mu.RLock()
+		if bc, ok := seg.eng.(counters); ok && seg.eng != nil {
+			h, sh := bc.BuildCounters()
+			elementsHashed += h
+			shrinks += sh
+		}
+		seg.mu.RUnlock()
+	}
+	return
+}
+
+// segmentedQuery fans one prepared query out across the segments and merges.
+type segmentedQuery struct {
+	s    *Segmented
+	pqs  []PreparedQuery // nil where the segment had no engine at prepare time
+	size int
+}
+
+func (q *segmentedQuery) Size() int { return q.size }
+
+func (q *segmentedQuery) SetSize(n int) {
+	q.size = n
+	for _, pq := range q.pqs {
+		if pq != nil {
+			pq.SetSize(n)
+		}
+	}
+}
+
+func (q *segmentedQuery) Clone() PreparedQuery {
+	cp := &segmentedQuery{s: q.s, pqs: make([]PreparedQuery, len(q.pqs)), size: q.size}
+	for i, pq := range q.pqs {
+		if pq != nil {
+			cp.pqs[i] = pq.Clone()
+		}
+	}
+	return cp
+}
+
+// fan runs f once per built segment under that segment's read lock, through
+// the work-stealing pool. Each worker touches a distinct segment's prepared
+// query, which keeps the PreparedQuery single-goroutine contract intact.
+func (q *segmentedQuery) fan(f func(seg int, pq PreparedQuery)) {
+	active := make([]int, 0, len(q.pqs))
+	for i, pq := range q.pqs {
+		if pq != nil {
+			active = append(active, i)
+		}
+	}
+	fanSegments(len(active), func(ai int) {
+		i := active[ai]
+		seg := q.s.segs[i]
+		seg.mu.RLock()
+		defer seg.mu.RUnlock()
+		f(i, q.pqs[i])
+	})
+}
+
+// globalize remaps a segment's ascending local ids to ascending global ids.
+// Caller holds the segment's read lock (fan provides it).
+func (q *segmentedQuery) globalize(seg int, locals []int) []int {
+	g := q.s.segs[seg].globals
+	out := make([]int, len(locals))
+	for i, l := range locals {
+		out[i] = g[l]
+	}
+	return out
+}
+
+func (q *segmentedQuery) Search(threshold float64) []int {
+	per := make([][]int, len(q.pqs))
+	q.fan(func(i int, pq PreparedQuery) {
+		per[i] = q.globalize(i, pq.Search(threshold))
+	})
+	return mergeSortedIDs(per)
+}
+
+func (q *segmentedQuery) SearchScored(threshold float64, limit int) ([]Scored, int) {
+	type res struct {
+		hits  []Scored
+		total int
+	}
+	per := make([]res, len(q.pqs))
+	q.fan(func(i int, pq PreparedQuery) {
+		// The limit pushes down soundly: the global first-limit-by-id hits
+		// are a subset of each segment's first-limit-by-id hits, because
+		// local order is global order within a segment.
+		hits, total := pq.SearchScored(threshold, limit)
+		g := q.s.segs[i].globals
+		for j := range hits {
+			hits[j].ID = g[hits[j].ID]
+		}
+		per[i] = res{hits: hits, total: total}
+	})
+	total := 0
+	lists := make([][]Scored, len(per))
+	for i, r := range per {
+		total += r.total
+		lists[i] = r.hits
+	}
+	return mergeSortedScored(lists, limit), total
+}
+
+func (q *segmentedQuery) TopK(k int) []Scored {
+	if k <= 0 {
+		return nil
+	}
+	per := make([][]Scored, len(q.pqs))
+	q.fan(func(i int, pq PreparedQuery) {
+		// Any global top-k member is in its own segment's top-k, so merging
+		// the per-segment top-k sets through the shared bounded heap — the
+		// same strict-below tie rule (score descending, id ascending on
+		// ties) every engine uses — reproduces the single-index result
+		// exactly whenever per-record estimates agree.
+		hits := pq.TopK(k)
+		g := q.s.segs[i].globals
+		for j := range hits {
+			hits[j].ID = g[hits[j].ID]
+		}
+		per[i] = hits
+	})
+	h := topkheap.Make(k, nil)
+	for _, hits := range per {
+		for _, sc := range hits {
+			h.Push(sc.ID, sc.Score)
+		}
+	}
+	return h.Sorted()
+}
+
+func (q *segmentedQuery) Estimate(i int) float64 {
+	q.s.routeMu.RLock()
+	ref := q.s.route[i]
+	q.s.routeMu.RUnlock()
+	pq := q.pqs[ref.seg]
+	if pq == nil {
+		return 0
+	}
+	seg := q.s.segs[ref.seg]
+	seg.mu.RLock()
+	defer seg.mu.RUnlock()
+	return pq.Estimate(int(ref.local))
+}
+
+// QueryStats sums the per-segment work counters of the last search, for the
+// segments whose prepared queries report them (gbkmv/gkmv).
+func (q *segmentedQuery) QueryStats() QueryStats {
+	var st QueryStats
+	for _, pq := range q.pqs {
+		if qs, ok := pq.(interface{ QueryStats() QueryStats }); ok {
+			s := qs.QueryStats()
+			st.Candidates += s.Candidates
+			st.PrunedByBound += s.PrunedByBound
+			st.Estimated += s.Estimated
+			st.BufferAccepts += s.BufferAccepts
+		}
+	}
+	return st
+}
+
+// mergeSortedIDs merges ascending id lists into one ascending list.
+func mergeSortedIDs(lists [][]int) []int {
+	total, nonEmpty, last := 0, 0, -1
+	for i, l := range lists {
+		total += len(l)
+		if len(l) > 0 {
+			nonEmpty++
+			last = i
+		}
+	}
+	if nonEmpty == 0 {
+		return []int{}
+	}
+	if nonEmpty == 1 {
+		return lists[last]
+	}
+	out := make([]int, 0, total)
+	pos := make([]int, len(lists))
+	for len(out) < total {
+		best, bestID := -1, 0
+		for i, l := range lists {
+			if pos[i] < len(l) {
+				if id := l[pos[i]]; best == -1 || id < bestID {
+					best, bestID = i, id
+				}
+			}
+		}
+		out = append(out, bestID)
+		pos[best]++
+	}
+	return out
+}
+
+// mergeSortedScored merges ascending-by-id scored lists, capping at limit
+// (limit <= 0 means no cap).
+func mergeSortedScored(lists [][]Scored, limit int) []Scored {
+	total, nonEmpty, last := 0, 0, -1
+	for i, l := range lists {
+		total += len(l)
+		if len(l) > 0 {
+			nonEmpty++
+			last = i
+		}
+	}
+	if nonEmpty == 0 {
+		return []Scored{}
+	}
+	if nonEmpty == 1 && (limit <= 0 || len(lists[last]) <= limit) {
+		return lists[last]
+	}
+	if limit > 0 && limit < total {
+		total = limit
+	}
+	out := make([]Scored, 0, total)
+	pos := make([]int, len(lists))
+	for len(out) < total {
+		best := -1
+		var bestSc Scored
+		for i, l := range lists {
+			if pos[i] < len(l) {
+				if sc := l[pos[i]]; best == -1 || sc.ID < bestSc.ID {
+					best, bestSc = i, sc
+				}
+			}
+		}
+		out = append(out, bestSc)
+		pos[best]++
+	}
+	return out
+}
+
+// The segmented container snapshot format: its own magic (distinguished from
+// the single-engine header by LoadEngine), a version byte, a flags byte
+// (bit0: options pinned), the length-prefixed inner engine name, segment and
+// record counts, the routing table (one uvarint segment index per record —
+// local ids are implied by order), the gob-encoded per-segment build
+// options, then each segment's SaveEngine stream, length-prefixed (length 0
+// = segment never built). Every piece is deterministic, so two replicas with
+// the same records write byte-identical containers — the property follower
+// snapshot handoff verifies.
+var segmentedMagic = []byte("GBKMVSEG")
+
+const segmentedVersion = 1
+
+// Save writes the segmented container. Each segment encodes under its own
+// read lock, taken one segment at a time — the bounded-pause property — with
+// the per-segment encode duration reported to the SetSaveObserver callback.
+func (s *Segmented) Save(w io.Writer) error {
+	s.routeMu.RLock()
+	route := make([]segRef, len(s.route))
+	copy(route, s.route)
+	s.routeMu.RUnlock()
+	var hdr bytes.Buffer
+	hdr.Write(segmentedMagic)
+	flags := byte(0)
+	if s.pin.Load() {
+		flags |= 1
+	}
+	hdr.WriteByte(segmentedVersion)
+	hdr.WriteByte(flags)
+	if len(s.inner) == 0 || len(s.inner) > 255 {
+		return fmt.Errorf("gbkmv: engine name %q not serializable", s.inner)
+	}
+	hdr.WriteByte(byte(len(s.inner)))
+	hdr.WriteString(s.inner)
+	var num [binary.MaxVarintLen64]byte
+	putUvarint := func(b *bytes.Buffer, v uint64) {
+		b.Write(num[:binary.PutUvarint(num[:], v)])
+	}
+	putUvarint(&hdr, uint64(len(s.segs)))
+	putUvarint(&hdr, uint64(len(route)))
+	for _, ref := range route {
+		putUvarint(&hdr, uint64(ref.seg))
+	}
+	var optBuf bytes.Buffer
+	if err := gob.NewEncoder(&optBuf).Encode(s.opt); err != nil {
+		return fmt.Errorf("gbkmv: encoding segment options: %w", err)
+	}
+	putUvarint(&hdr, uint64(optBuf.Len()))
+	hdr.Write(optBuf.Bytes())
+	if _, err := w.Write(hdr.Bytes()); err != nil {
+		return fmt.Errorf("gbkmv: writing segmented header: %w", err)
+	}
+	onSave, _ := s.onSave.Load().(func(int, time.Duration))
+	var segBuf bytes.Buffer
+	for i, seg := range s.segs {
+		segBuf.Reset()
+		start := time.Now()
+		seg.mu.RLock()
+		err := func() error {
+			if seg.eng == nil {
+				return nil
+			}
+			return SaveEngine(&segBuf, seg.eng)
+		}()
+		seg.mu.RUnlock()
+		if onSave != nil {
+			onSave(i, time.Since(start))
+		}
+		if err != nil {
+			return fmt.Errorf("gbkmv: encoding segment %d: %w", i, err)
+		}
+		lenBuf := num[:binary.PutUvarint(num[:], uint64(segBuf.Len()))]
+		if _, err := w.Write(lenBuf); err != nil {
+			return fmt.Errorf("gbkmv: writing segment %d: %w", i, err)
+		}
+		if _, err := w.Write(segBuf.Bytes()); err != nil {
+			return fmt.Errorf("gbkmv: writing segment %d: %w", i, err)
+		}
+	}
+	return nil
+}
+
+// loadSegmented reads the container written by Save (after the magic has
+// been consumed by LoadEngine's dispatch). Segment payloads decode in
+// parallel — the rebuild-on-load engines do real work here, and a restart
+// should use the cores a segmented collection was sized to.
+func loadSegmented(r io.Reader) (*Segmented, error) {
+	br, ok := r.(io.ByteReader)
+	if !ok {
+		shim := &byteReaderShim{r: r}
+		br = shim
+		r = shim
+	}
+	var meta [2]byte
+	if _, err := io.ReadFull(r, meta[:]); err != nil {
+		return nil, fmt.Errorf("gbkmv: reading segmented header: %w", err)
+	}
+	if meta[0] != segmentedVersion {
+		return nil, fmt.Errorf("gbkmv: unsupported segmented snapshot version %d", meta[0])
+	}
+	pinned := meta[1]&1 != 0
+	var nameLen [1]byte
+	if _, err := io.ReadFull(r, nameLen[:]); err != nil {
+		return nil, fmt.Errorf("gbkmv: reading segmented header: %w", err)
+	}
+	nameBuf := make([]byte, nameLen[0])
+	if _, err := io.ReadFull(r, nameBuf); err != nil {
+		return nil, fmt.Errorf("gbkmv: reading segmented engine name: %w", err)
+	}
+	inner := string(nameBuf)
+	if _, _, err := lookupEngine(inner); err != nil {
+		return nil, fmt.Errorf("gbkmv: segmented snapshot written by unregistered engine %q", inner)
+	}
+	n, err := binary.ReadUvarint(br)
+	if err != nil {
+		return nil, fmt.Errorf("gbkmv: reading segment count: %w", err)
+	}
+	if n < 1 || n > 1<<20 {
+		return nil, fmt.Errorf("gbkmv: implausible segment count %d", n)
+	}
+	nrec, err := binary.ReadUvarint(br)
+	if err != nil {
+		return nil, fmt.Errorf("gbkmv: reading record count: %w", err)
+	}
+	s := &Segmented{inner: inner, segs: make([]*segment, n)}
+	s.pin.Store(pinned)
+	for i := range s.segs {
+		s.segs[i] = &segment{}
+	}
+	s.route = make([]segRef, nrec)
+	for i := range s.route {
+		segIdx, err := binary.ReadUvarint(br)
+		if err != nil {
+			return nil, fmt.Errorf("gbkmv: reading routing table: %w", err)
+		}
+		if segIdx >= n {
+			return nil, fmt.Errorf("gbkmv: routing table names segment %d of %d", segIdx, n)
+		}
+		seg := s.segs[segIdx]
+		s.route[i] = segRef{seg: uint32(segIdx), local: uint32(len(seg.globals))}
+		seg.globals = append(seg.globals, i)
+	}
+	optLen, err := binary.ReadUvarint(br)
+	if err != nil {
+		return nil, fmt.Errorf("gbkmv: reading segment options: %w", err)
+	}
+	optBytes := make([]byte, optLen)
+	if _, err := io.ReadFull(r, optBytes); err != nil {
+		return nil, fmt.Errorf("gbkmv: reading segment options: %w", err)
+	}
+	if err := gob.NewDecoder(bytes.NewReader(optBytes)).Decode(&s.opt); err != nil {
+		return nil, fmt.Errorf("gbkmv: decoding segment options: %w", err)
+	}
+	payloads := make([][]byte, n)
+	for i := uint64(0); i < n; i++ {
+		plen, err := binary.ReadUvarint(br)
+		if err != nil {
+			return nil, fmt.Errorf("gbkmv: reading segment %d length: %w", i, err)
+		}
+		if plen == 0 {
+			continue
+		}
+		p := make([]byte, plen)
+		if _, err := io.ReadFull(r, p); err != nil {
+			return nil, fmt.Errorf("gbkmv: reading segment %d: %w", i, err)
+		}
+		payloads[i] = p
+	}
+	var firstErr error
+	var errMu sync.Mutex
+	fanSegments(int(n), func(i int) {
+		if payloads[i] == nil {
+			return
+		}
+		eng, err := LoadEngine(bytes.NewReader(payloads[i]))
+		if err == nil && eng.EngineName() != inner {
+			err = fmt.Errorf("segment engine %q, container says %q", eng.EngineName(), inner)
+		}
+		if err == nil && eng.Len() != len(s.segs[i].globals) {
+			err = fmt.Errorf("segment holds %d records, routing table says %d", eng.Len(), len(s.segs[i].globals))
+		}
+		if err != nil {
+			errMu.Lock()
+			if firstErr == nil {
+				firstErr = fmt.Errorf("gbkmv: loading segment %d: %w", i, err)
+			}
+			errMu.Unlock()
+			return
+		}
+		s.segs[i].eng = eng
+	})
+	if firstErr != nil {
+		return nil, firstErr
+	}
+	for i := range s.segs {
+		if s.segs[i].eng == nil && len(s.segs[i].globals) > 0 {
+			return nil, fmt.Errorf("gbkmv: segment %d has %d routed records but no payload", i, len(s.segs[i].globals))
+		}
+	}
+	return s, nil
+}
+
+// byteReaderShim is a minimal ByteReader for readers without one; segment
+// loads go through bytes.Reader in practice.
+type byteReaderShim struct {
+	r   io.Reader
+	one [1]byte
+}
+
+func (b *byteReaderShim) Read(p []byte) (int, error) { return b.r.Read(p) }
+func (b *byteReaderShim) ReadByte() (byte, error) {
+	if _, err := io.ReadFull(b.r, b.one[:]); err != nil {
+		return 0, err
+	}
+	return b.one[0], nil
+}
